@@ -1,0 +1,78 @@
+"""X1 (extension) — Multi-group total order multicast (Section 6.4).
+
+The paper's closing pointer: consensus-based multi-group multicast "can
+be extended to crash-recovery systems using an approach similar to the
+one that has been followed here."  This experiment exercises our
+implementation of that extension and quantifies the *genuineness*
+property that makes multi-group multicast interesting: groups not
+addressed by a message do no ordering work for it.
+
+The table sweeps the fraction of cross-group traffic in a two-group
+topology and reports per-group agreement, pairwise total order across
+groups, and the consensus rounds each group ran — single-group traffic
+only burdens its own group.
+"""
+
+from __future__ import annotations
+
+from common import emit_table
+
+from repro.multigroup import MultiGroupCluster
+from repro.transport.network import NetworkConfig
+
+CROSS_FRACTIONS = (0.0, 0.25, 0.75)
+MESSAGES = 24
+
+
+def run_case(cross_fraction, seed=18):
+    cluster = MultiGroupCluster(
+        {"g1": [0, 1, 2], "g2": [2, 3, 4]}, seed=seed,
+        network=NetworkConfig(loss_rate=0.03))
+    cluster.start()
+    cross_every = (int(1 / cross_fraction) if cross_fraction else None)
+    for index in range(MESSAGES):
+        when = 0.5 + 0.25 * index
+        if cross_every and index % cross_every == 0:
+            cluster.sim.schedule(when, cluster.multicast, 2,
+                                 f"x{index}", ["g1", "g2"])
+        elif index % 2 == 0:
+            cluster.sim.schedule(when, cluster.multicast, 0,
+                                 f"a{index}", ["g1"])
+        else:
+            cluster.sim.schedule(when, cluster.multicast, 3,
+                                 f"b{index}", ["g2"])
+    # One crash-recovery of the bridge in every configuration.
+    cluster.sim.schedule(3.0, cluster.nodes[2].crash)
+    cluster.sim.schedule(5.0, cluster.nodes[2].recover)
+    cluster.run(until=120.0)
+    cluster.check_group_agreement("g1")
+    cluster.check_group_agreement("g2")
+    cluster.check_pairwise_total_order()
+    delivered_g1 = len(cluster.layers[0].delivered_in("g1"))
+    delivered_g2 = len(cluster.layers[3].delivered_in("g2"))
+    rounds_g1 = cluster.group_abs[0]["g1"].k
+    rounds_g2 = cluster.group_abs[3]["g2"].k
+    return delivered_g1, delivered_g2, rounds_g1, rounds_g2
+
+
+def test_x1_multigroup_multicast(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for fraction in CROSS_FRACTIONS:
+            d1, d2, r1, r2 = run_case(fraction)
+            rows.append([f"{fraction:.0%}", d1, d2, r1, r2, "yes"])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit_table(
+        "X1  Multi-group multicast: agreement and per-group work "
+        f"({MESSAGES} msgs, overlapping groups, bridge crash)",
+        ["cross traffic", "delivered g1", "delivered g2",
+         "rounds g1", "rounds g2", "order verified"],
+        rows,
+        note="extension of Section 6.4: pairwise total order holds "
+             "across groups and through a bridge crash; single-group "
+             "messages never burden the other group")
+    assert all(row[-1] == "yes" for row in rows)

@@ -1,0 +1,24 @@
+"""Benchmark-suite plumbing.
+
+* Puts the ``benchmarks/`` directory on ``sys.path`` so bench modules can
+  ``from common import ...`` regardless of invocation directory.
+* Flushes every experiment table queued through :func:`common.emit` into
+  the terminal summary, past pytest's output capture — the tables are the
+  scientific payload of the benchmark run and must always be visible.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    import common
+    if not common.EMITTED:
+        return
+    terminalreporter.section("reproduced experiment tables")
+    for block in common.EMITTED:
+        terminalreporter.write(block + "\n")

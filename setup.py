@@ -1,0 +1,5 @@
+"""Legacy setup shim (the environment's setuptools lacks PEP 660 editable
+support without the `wheel` package; metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Replicated applications built on Atomic Broadcast (Figure 5 interface)."""
+
+from repro.apps.bank import Bank
+from repro.apps.base import Application, ReplicatedStateMachine
+from repro.apps.certifier import CertifyingDatabase, make_transaction
+from repro.apps.counter import SequenceRecorder
+from repro.apps.kvstore import KeyValueStore
+
+__all__ = [
+    "Application",
+    "Bank",
+    "CertifyingDatabase",
+    "KeyValueStore",
+    "ReplicatedStateMachine",
+    "SequenceRecorder",
+    "make_transaction",
+]

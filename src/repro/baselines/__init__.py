@@ -1,0 +1,11 @@
+"""Baseline total-order protocols the paper is compared against."""
+
+from repro.baselines.ct_abcast import ChandraTouegAtomicBroadcast
+from repro.baselines.eager import EagerLoggingAtomicBroadcast
+from repro.baselines.sequencer import FixedSequencerBroadcast
+
+__all__ = [
+    "ChandraTouegAtomicBroadcast",
+    "EagerLoggingAtomicBroadcast",
+    "FixedSequencerBroadcast",
+]

@@ -1,0 +1,190 @@
+"""Command-line interface: run verified scenarios from a shell.
+
+Examples::
+
+    python -m repro run --protocol alternative -n 5 --seed 3 \
+        --loss 0.1 --rate 2 --duration 20 --faults random
+
+    python -m repro compare --seed 7 --rate 3 --duration 10
+
+    python -m repro info
+
+Every ``run`` verifies the four Atomic Broadcast properties before
+printing metrics, so a zero exit status certifies a correct execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.alternative import AlternativeConfig
+from repro.harness.cluster import PROTOCOLS, ClusterConfig
+from repro.harness.report import format_table
+from repro.harness.scenario import Scenario, run_scenario
+from repro.sim.faults import RandomFaults
+from repro.transport.network import NetworkConfig
+from repro.workloads.generators import PoissonWorkload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Atomic Broadcast in asynchronous crash-recovery "
+                    "systems (Rodrigues & Raynal, ICDCS 2000) — "
+                    "scenario runner")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one verified scenario")
+    run.add_argument("--protocol", choices=PROTOCOLS, default="basic")
+    run.add_argument("-n", "--nodes", type=int, default=3)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--loss", type=float, default=0.05,
+                     help="network loss rate (0 <= p < 1)")
+    run.add_argument("--duplicates", type=float, default=0.0,
+                     help="network duplication rate")
+    run.add_argument("--rate", type=float, default=1.5,
+                     help="Poisson A-broadcast rate per node")
+    run.add_argument("--duration", type=float, default=15.0,
+                     help="workload duration (virtual time)")
+    run.add_argument("--faults", choices=["none", "random"],
+                     default="none")
+    run.add_argument("--mttf", type=float, default=8.0)
+    run.add_argument("--mttr", type=float, default=2.0)
+    run.add_argument("--checkpoint-interval", type=float, default=2.0,
+                     help="alternative protocol: checkpoint period")
+    run.add_argument("--delta", type=int, default=3,
+                     help="alternative protocol: state-transfer trigger")
+    run.add_argument("--log-unordered", action="store_true",
+                     help="alternative protocol: Section 5.4 batching")
+    run.add_argument("--trace", type=int, default=0, metavar="N",
+                     help="print the last N protocol trace events")
+
+    compare = commands.add_parser(
+        "compare", help="run every protocol on one workload")
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("-n", "--nodes", type=int, default=3)
+    compare.add_argument("--rate", type=float, default=2.0)
+    compare.add_argument("--duration", type=float, default=10.0)
+
+    commands.add_parser("info", help="list protocols and experiments")
+    return parser
+
+
+def _network(args) -> NetworkConfig:
+    return NetworkConfig(loss_rate=args.loss,
+                         duplicate_rate=args.duplicates)
+
+
+def _run(args) -> int:
+    alt = AlternativeConfig(
+        checkpoint_interval=args.checkpoint_interval or None,
+        delta=args.delta or None,
+        log_unordered=args.log_unordered)
+    faults = None
+    if args.faults == "random":
+        faults = RandomFaults(mttf=args.mttf, mttr=args.mttr,
+                              stabilize_at=args.duration * 1.2,
+                              seed=args.seed)
+    tracer = None
+    if args.trace:
+        from repro.sim.trace import Tracer
+        tracer = Tracer()
+    result = run_scenario(Scenario(
+        cluster=ClusterConfig(n=args.nodes, seed=args.seed,
+                              protocol=args.protocol,
+                              network=_network(args), alt=alt),
+        workload=PoissonWorkload(args.rate, args.duration,
+                                 seed=args.seed),
+        faults=faults,
+        duration=args.duration * 1.5,
+        settle_limit=args.duration * 20,
+        tracer=tracer))
+    metrics = result.metrics
+    latency = metrics.latency_summary()
+    print(format_table(
+        f"{args.protocol} · n={args.nodes} · seed={args.seed} · "
+        f"loss={args.loss} · faults={args.faults}",
+        ["metric", "value"],
+        [
+            ["messages broadcast", metrics.messages_broadcast],
+            ["messages delivered", metrics.messages_delivered],
+            ["consensus rounds", result.report.rounds
+             if result.report else "-"],
+            ["throughput (msg/time)", round(metrics.throughput, 3)],
+            ["latency p50", round(latency["p50"], 4)],
+            ["latency p95", round(latency["p95"], 4)],
+            ["log ops (total)", metrics.total_log_ops()],
+            ["log ops by layer", str(metrics.log_ops_by_prefix())],
+            ["network msgs", metrics.network["sent"]],
+            ["crashes survived",
+             sum(stats["crashes"]
+                 for stats in metrics.node_stats.values())],
+            ["properties verified", "yes"],
+        ]))
+    if tracer is not None:
+        print(f"\nlast {args.trace} trace events "
+              f"({len(tracer)} recorded; counts {tracer.counts()}):")
+        print(tracer.format_text(limit=args.trace))
+    return 0
+
+
+def _compare(args) -> int:
+    rows = []
+    for protocol in PROTOCOLS:
+        loss = 0.0 if protocol in ("ct",) else 0.05
+        result = run_scenario(Scenario(
+            cluster=ClusterConfig(n=args.nodes, seed=args.seed,
+                                  protocol=protocol,
+                                  network=NetworkConfig(loss_rate=loss)),
+            workload=PoissonWorkload(args.rate, args.duration,
+                                     seed=args.seed),
+            duration=args.duration * 1.5,
+            settle_limit=args.duration * 20))
+        metrics = result.metrics
+        latency = metrics.latency_summary()
+        rows.append([protocol, metrics.messages_delivered,
+                     round(latency["p50"], 4),
+                     metrics.total_log_ops(),
+                     metrics.network["sent"]])
+    print(format_table(
+        f"protocol comparison · n={args.nodes} · seed={args.seed}",
+        ["protocol", "delivered", "lat p50", "log ops", "msgs"],
+        rows))
+    return 0
+
+
+def _info() -> int:
+    print("protocols:")
+    descriptions = {
+        "basic": "Figure 2 — minimal logging, replay recovery",
+        "alternative": "Figures 3-4 — checkpoints, state transfer, "
+                       "batching",
+        "eager": "baseline — logs every Unordered/Agreed update",
+        "ct": "baseline — Chandra-Toueg transformation (crash-stop)",
+        "sequencer": "baseline — fixed sequencer (no fault tolerance)",
+    }
+    for protocol in PROTOCOLS:
+        print(f"  {protocol:12s} {descriptions[protocol]}")
+    print("\nexperiments: pytest benchmarks/ --benchmark-only "
+          "(tables E1-E11 + X1-X2)")
+    print("docs: README.md · DESIGN.md · EXPERIMENTS.md")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run(args)
+    if args.command == "compare":
+        return _compare(args)
+    return _info()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

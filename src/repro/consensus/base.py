@@ -1,0 +1,206 @@
+"""The consensus black-box interface of Section 3.2.
+
+The Atomic Broadcast layer sees consensus through exactly two primitives:
+
+* ``propose(k, v)`` — propose value ``v`` for instance ``k``.  Proposing
+  *is* logging: the proposal is durably recorded as the first operation
+  (Section 4.2, "the log is done as the first operation of the
+  Consensus"), which guarantees property P4 — a process always proposes
+  the same value to instance ``k``, however many times it crashes and
+  re-invokes ``propose``.
+* ``decided(k)`` — the decision of instance ``k``; once an instance has
+  decided, its result is *locked* (property P5) and every re-invocation
+  returns the same value.
+
+Both primitives are idempotent, as the paper requires: a recovering
+process may re-invoke them for instances that already started or even
+finished.
+
+:class:`ConsensusService` implements the bookkeeping shared by every
+concrete algorithm (proposal/decision logs, idempotence checks, waiting);
+subclasses implement the agreement itself by overriding
+:meth:`_activate`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro.errors import ConsensusError, ProposalMismatch
+from repro.sim.kernel import Signal
+from repro.sim.process import NodeComponent
+
+__all__ = ["ConsensusService"]
+
+
+class ConsensusService(NodeComponent):
+    """Shared base for consensus implementations.
+
+    Stable-storage layout (per node)::
+
+        consensus/<k>/proposal   — the value this process proposes to k
+        consensus/<k>/decision   — the locked decision of instance k
+
+    The ``consensus`` key prefix is what experiment E2 counts when
+    checking that Atomic Broadcast adds no log operations of its own.
+    """
+
+    name = "consensus"
+
+    PROPOSAL_KEY = "consensus"
+
+    def __init__(self, namespace: str = "") -> None:
+        super().__init__()
+        # A non-empty namespace isolates this instance's durable state —
+        # one consensus stack per process group (Section 6.4).
+        self.namespace = namespace
+        if namespace:
+            self.PROPOSAL_KEY = f"consensus@{namespace}"
+        self._decided_signal: Dict[int, Signal] = {}
+        self._decisions: Dict[int, Any] = {}   # volatile decision cache
+        self._proposals: Dict[int, Any] = {}   # volatile proposal cache
+        # Optional omniscient observer (the metrics collector): sees each
+        # locally-learned decision even after logs are garbage-collected.
+        # Lives outside the fault model; protocols never read it.
+        self.observer: Optional[Any] = None
+
+    # -- paper interface -------------------------------------------------------
+
+    def propose(self, k: int, value: Any) -> None:
+        """Propose ``value`` for instance ``k`` (idempotent; logs first).
+
+        Raises :class:`~repro.errors.ProposalMismatch` if a *different*
+        value was already proposed for ``k`` by this process — the
+        protocol above must guarantee P4, and this check enforces it.
+        """
+        assert self.node is not None
+        if k < 0:
+            raise ConsensusError(f"negative instance number {k}")
+        if value is None:
+            raise ConsensusError(
+                "None cannot be proposed (it is the 'undecided' sentinel); "
+                "propose an empty set instead")
+        existing = self.proposal_of(k)
+        if existing is not None:
+            if existing != value:
+                raise ProposalMismatch(
+                    f"instance {k}: proposed {existing!r}, now {value!r}")
+        else:
+            self.node.storage.log((self.PROPOSAL_KEY, k, "proposal"), value)
+            self._proposals[k] = value
+        self._activate(k)
+
+    def decided_value(self, k: int) -> Optional[Any]:
+        """The locked decision of instance ``k``, or ``None`` if undecided."""
+        assert self.node is not None
+        cached = self._decisions.get(k)
+        if cached is not None:
+            return cached
+        stored = self.node.storage.retrieve(
+            (self.PROPOSAL_KEY, k, "decision"), None)
+        if stored is not None:
+            self._decisions[k] = stored
+        return stored
+
+    def wait_decided(self, k: int) -> Generator[Any, Any, Any]:
+        """Cooperative-blocking wait for the decision of instance ``k``.
+
+        This is the paper's ``wait until decided(k, result)``; the
+        generator's return value is the decision.
+        """
+        while True:
+            value = self.decided_value(k)
+            if value is not None:
+                return value
+            yield self.decision_signal(k).wait()
+
+    # -- replay support (Section 4.2, recovery) -----------------------------------
+
+    def proposal_of(self, k: int) -> Optional[Any]:
+        """The value this process logged as its proposal to ``k``."""
+        assert self.node is not None
+        cached = self._proposals.get(k)
+        if cached is not None:
+            return cached
+        stored = self.node.storage.retrieve(
+            (self.PROPOSAL_KEY, k, "proposal"), None)
+        if stored is not None:
+            self._proposals[k] = stored
+        return stored
+
+    def logged_instances(self) -> Dict[int, Any]:
+        """All instances with a logged proposal, for the replay procedure."""
+        assert self.node is not None
+        found: Dict[int, Any] = {}
+        for key in self.node.storage.keys(self.PROPOSAL_KEY):
+            parts = key.split("/")
+            if len(parts) == 3 and parts[2] == "proposal":
+                found[int(parts[1])] = self.node.storage.retrieve(key)
+        return found
+
+    def discard_instances_below(self, k: int) -> int:
+        """Garbage-collect proposal/decision logs of instances < ``k``.
+
+        Called by the checkpointing protocol variant (Section 5.1, line c:
+        old proposed values that will not be replayed can be discarded).
+        Returns the number of instances discarded.
+        """
+        assert self.node is not None
+        discarded = 0
+        for key in list(self.node.storage.keys(self.PROPOSAL_KEY)):
+            parts = key.split("/")
+            if len(parts) == 3 and int(parts[1]) < k:
+                self.node.storage.delete(key)
+                discarded += 1
+        for instance in [i for i in self._proposals if i < k]:
+            del self._proposals[instance]
+        for instance in [i for i in self._decisions if i < k]:
+            del self._decisions[instance]
+        return discarded
+
+    # -- shared internals -----------------------------------------------------------
+
+    def decision_signal(self, k: int) -> Signal:
+        """Signal notified when instance ``k`` decides (volatile)."""
+        assert self.node is not None
+        signal = self._decided_signal.get(k)
+        if signal is None:
+            signal = self.node.sim.signal(f"decided:{k}@{self.node.node_id}")
+            self._decided_signal[k] = signal
+        return signal
+
+    def _record_decision(self, k: int, value: Any) -> None:
+        """Lock the decision of instance ``k`` (idempotent)."""
+        assert self.node is not None
+        existing = self.decided_value(k)
+        if existing is not None:
+            if existing != value:
+                raise ConsensusError(
+                    f"instance {k} decided twice with different values: "
+                    f"{existing!r} then {value!r}")
+            return
+        self.node.storage.log((self.PROPOSAL_KEY, k, "decision"), value)
+        self._decisions[k] = value
+        self.node.sim.trace("decision", self.node.node_id, "locked",
+                            k=k, size=len(value))
+        self._notify_observer(k, value)
+        self.decision_signal(k).notify(value)
+
+    def _notify_observer(self, k: int, value: Any) -> None:
+        if self.observer is not None:
+            self.observer.note_decision(k, value)
+
+    def on_crash(self) -> None:
+        self._decided_signal = {}
+        self._decisions = {}
+        self._proposals = {}
+
+    # -- algorithm hook ----------------------------------------------------------------
+
+    def _activate(self, k: int) -> None:
+        """Start (or re-join) the agreement for instance ``k``.
+
+        Called by :meth:`propose`; idempotent.  Subclasses spawn their
+        per-instance driver here.
+        """
+        raise NotImplementedError

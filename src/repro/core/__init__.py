@@ -1,0 +1,40 @@
+"""The paper's contribution: Atomic Broadcast for crash-recovery systems.
+
+* :class:`~repro.core.basic.BasicAtomicBroadcast` — Figure 2, the
+  minimal-logging protocol.
+* :class:`~repro.core.alternative.AlternativeAtomicBroadcast` /
+  :class:`~repro.core.alternative.AlternativeConfig` — Figures 3–4, the
+  Section 5 protocol (checkpoints, state transfer, batching, incremental
+  logging).
+* :class:`~repro.core.agreed.AgreedQueue`,
+  :class:`~repro.core.tracker.DeliveredTracker` — the Agreed queue and
+  the checkpoint membership tracker.
+* :class:`~repro.core.messages.AppMessage`,
+  :class:`~repro.core.ids.MessageId` — the message model.
+"""
+
+from repro.core.agreed import (AgreedQueue, deterministic_order,
+                               sender_round_robin_order)
+from repro.core.alternative import (AlternativeAtomicBroadcast,
+                                    AlternativeConfig)
+from repro.core.basic import BasicAtomicBroadcast, DeliveryListener
+from repro.core.equivalence import ConsensusFromAtomicBroadcast
+from repro.core.ids import MessageId
+from repro.core.messages import AppMessage, GossipMessage, StateMessage
+from repro.core.tracker import DeliveredTracker
+
+__all__ = [
+    "AgreedQueue",
+    "AlternativeAtomicBroadcast",
+    "AlternativeConfig",
+    "AppMessage",
+    "BasicAtomicBroadcast",
+    "ConsensusFromAtomicBroadcast",
+    "DeliveredTracker",
+    "DeliveryListener",
+    "GossipMessage",
+    "MessageId",
+    "StateMessage",
+    "deterministic_order",
+    "sender_round_robin_order",
+]

@@ -1,0 +1,311 @@
+"""The alternative Atomic Broadcast protocol (Figures 3 and 4, Section 5).
+
+Extends the basic protocol with four independently-toggleable features,
+each trading extra log operations for a practical benefit:
+
+* **Durable checkpoints of ``(k, Agreed)``** (Section 5.1) — a periodic
+  checkpoint task logs the round number and the Agreed queue, so recovery
+  restarts from the checkpoint instead of replaying every consensus
+  instance from round 0.  Consensus logs below the checkpoint are
+  discarded (Figure 4, line c).
+* **Application-level checkpoints** (Section 5.2) — when the application
+  registers an ``A-checkpoint`` upcall, the delivered prefix of the
+  Agreed queue is replaced by ``(A-checkpoint(σ), VC(σ))``: the log stops
+  growing with history and the replay phase shrinks to the suffix.
+* **State transfer** (Section 5.3) — a process that sees a peer more than
+  ``delta`` rounds behind sends it a ``state`` message carrying
+  ``(k_p − 1, Agreed_p)``; the late process aborts its sequencer, adopts
+  the state, and re-forks the sequencer past the missed instances
+  (Figure 3, lines d–f).
+* **Logged Unordered set** (Sections 5.4/5.5) — ``A-broadcast`` logs the
+  message (incrementally, by default: only the new element is written)
+  and returns as soon as it is durable, instead of waiting for the
+  message to be ordered; batches then flow into single consensus
+  instances.
+
+Every feature defaults to the paper's recommended setting; construct
+:class:`AlternativeConfig` to explore the trade-offs (the E3–E7
+benchmarks do exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.consensus.base import ConsensusService
+from repro.core.agreed import AgreedQueue
+from repro.core.basic import BasicAtomicBroadcast
+from repro.core.messages import AppMessage, GossipMessage, StateMessage
+from repro.transport.endpoint import Endpoint
+
+__all__ = ["AlternativeAtomicBroadcast", "AlternativeConfig"]
+
+
+class AlternativeConfig:
+    """Feature switches of the Section 5 protocol.
+
+    Parameters
+    ----------
+    checkpoint_interval:
+        Period of the checkpoint task (virtual time); ``None`` disables
+        durable checkpoints (degenerating towards the basic protocol).
+        The paper: "the frequency of this checkpointing has no impact on
+        correctness and is an implementation choice".
+    delta:
+        De-synchronisation (in rounds) that triggers a state transfer to
+        a lagging peer; ``None`` disables state transfer.
+    log_unordered:
+        When ``True``, ``A-broadcast`` logs the Unordered set and returns
+        once the message is durable (Section 5.4).
+    incremental:
+        When ``True`` (and ``log_unordered``), only the new message is
+        appended to the log instead of re-logging the whole set
+        (Section 5.5).
+    state_resend_interval:
+        Minimum virtual time between two state messages to the same peer
+        (a practical throttle; the paper sends on every trigger).
+    """
+
+    def __init__(self,
+                 checkpoint_interval: Optional[float] = 2.0,
+                 delta: Optional[int] = 3,
+                 log_unordered: bool = False,
+                 incremental: bool = True,
+                 state_resend_interval: float = 1.0):
+        if delta is not None and delta < 1:
+            raise ValueError("delta must be >= 1 (or None to disable)")
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        self.checkpoint_interval = checkpoint_interval
+        self.delta = delta
+        self.log_unordered = log_unordered
+        self.incremental = incremental
+        self.state_resend_interval = state_resend_interval
+
+
+class AlternativeAtomicBroadcast(BasicAtomicBroadcast):
+    """Figures 3–4: the basic protocol plus Section 5 optimisations."""
+
+    name = "atomic-broadcast-alt"
+
+    CHECKPOINT_KEY = ("ab", "ckpt")
+    UNORDERED_KEY = ("ab", "unordered")
+
+    def __init__(self, endpoint: Endpoint, consensus: ConsensusService,
+                 gossip_interval: float = 0.25,
+                 config: Optional[AlternativeConfig] = None,
+                 namespace: str = ""):
+        super().__init__(endpoint, consensus, gossip_interval, namespace)
+        if namespace:
+            self.CHECKPOINT_KEY = (f"ab@{namespace}", "ckpt")
+            self.UNORDERED_KEY = (f"ab@{namespace}", "unordered")
+        self.config = config or AlternativeConfig()
+        self._app_checkpoint: Optional[Callable[[], Any]] = None
+        self._pending_restore = False
+        self._last_state_sent: dict = {}
+        self.ckpt_k = 0
+        self._peer_ckpt: dict = {}
+        # Statistics.
+        self.checkpoints_taken = 0
+        self.state_transfers_sent = 0
+        self.state_transfers_adopted = 0
+        self.rounds_skipped = 0
+        self.instances_discarded = 0
+
+    # -- upper-layer additions (Figure 5) --------------------------------------------
+
+    def register_checkpoint_provider(self,
+                                     provider: Callable[[], Any]) -> None:
+        """Register the application's ``A-checkpoint`` upcall.
+
+        ``provider()`` must return a snapshot of the application state
+        that *contains* every message delivered so far.  Volatile: re-do
+        after each recovery (the application's ``on_start``).
+        """
+        self._app_checkpoint = provider
+
+    def broadcast(self, payload: Any) -> Generator[Any, Any, AppMessage]:
+        """``A-broadcast(m)`` with the Section 5.4 early return.
+
+        When the Unordered set is logged, durability — not ordering — is
+        what guarantees the message survives a crash of its sender, so
+        the call returns as soon as the log write completes.
+        """
+        if not self.config.log_unordered:
+            result = yield from super().broadcast(payload)
+            return result
+        return self.submit(payload)
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._last_state_sent = {}
+        self._pending_restore = False
+        self.ckpt_k = 0
+        self._peer_ckpt = {}
+        super().on_start()
+        self.endpoint.register(StateMessage.type, self._on_state)
+        if self.config.checkpoint_interval is not None:
+            assert self.node is not None
+            self.node.spawn(self._checkpoint_task(), "ab-checkpoint")
+
+    def _restore_volatile_state(self) -> None:
+        """Recovery, Figure 3: retrieve ``(k, Agreed)`` and ``Unordered``."""
+        assert self.node is not None
+        stored = self.node.storage.retrieve(self.CHECKPOINT_KEY, None)
+        if stored is not None:
+            stored_k, agreed_plain = stored
+            self.k = int(stored_k)
+            self.ckpt_k = self.k
+            self.agreed = AgreedQueue.from_plain(agreed_plain,
+                                                 self.order_rule)
+            self._pending_restore = True
+        if self.config.log_unordered:
+            for message in self.node.storage.retrieve_list(
+                    self.UNORDERED_KEY):
+                self._admit_locally(message)
+
+    def _announce_restore(self) -> None:
+        """Replay the restored checkpoint to freshly-subscribed listeners."""
+        if not self._pending_restore:
+            return
+        self._pending_restore = False
+        for listener in self._listeners:
+            listener.on_restore(self.agreed.checkpoint_state)
+        for message in self.agreed.sequence():
+            for listener in self._listeners:
+                listener.on_deliver(message)
+        self.messages_delivered += len(self.agreed)
+
+    # -- Section 5.4/5.5: logged Unordered set ------------------------------------------------
+
+    def _admit_locally(self, message: AppMessage) -> None:
+        if message.id in self.unordered or message in self.agreed:
+            return  # idempotent: duplicates are dropped, nothing logged
+        super()._admit_locally(message)
+        if self.config.log_unordered:
+            assert self.node is not None
+            if self.config.incremental:
+                # Only the new part of the set is written (Section 5.5).
+                self.node.storage.append(self.UNORDERED_KEY, message)
+            else:
+                self.node.storage.log(
+                    self.UNORDERED_KEY, list(self.unordered.values()))
+
+    # -- Section 5.1/5.2: checkpoint task (Figure 4) --------------------------------------------
+
+    def _checkpoint_task(self):
+        assert self.node is not None
+        interval = self.config.checkpoint_interval
+        while True:
+            yield interval
+            self.take_checkpoint()
+
+    def take_checkpoint(self) -> None:
+        """One pass of the checkpoint task (also callable explicitly).
+
+        Atomic w.r.t. round commits and gossip handling (the bracketed
+        line b of Figure 4): the kernel is single-threaded and this
+        method never yields.
+        """
+        assert self.node is not None
+        if self._app_checkpoint is not None:
+            # (b) Agreed ← (A-checkpoint(Agreed), VC(Agreed))
+            self.agreed.compact(self._app_checkpoint())
+        self.node.storage.log(self.CHECKPOINT_KEY,
+                              [self.k, self.agreed.to_plain()])
+        self.ckpt_k = self.k
+        # (c) Proposed[i] can be discarded from the log — but only below
+        # the *global* watermark (the lowest checkpointed round any peer
+        # has reported): instances above it may still be replayed by a
+        # lagging peer, and discarding their decisions would strand it.
+        self.instances_discarded += self.consensus.discard_instances_below(
+            self._gc_watermark())
+        if self.config.log_unordered:
+            # Rewrite the Unordered log compactly (drops ordered messages).
+            self.node.storage.log(self.UNORDERED_KEY,
+                                  list(self.unordered.values()))
+        self.checkpoints_taken += 1
+        self.node.sim.trace("checkpoint", self.node.node_id, "taken",
+                            k=self.k, watermark=self._gc_watermark())
+
+    def _checkpoint_round(self) -> int:
+        return self.ckpt_k
+
+    def _note_peer_checkpoint(self, sender: int, ckpt_k: int) -> None:
+        previous = self._peer_ckpt.get(sender, 0)
+        if ckpt_k > previous:
+            self._peer_ckpt[sender] = ckpt_k
+
+    def _gc_watermark(self) -> int:
+        """Highest round below which no process can ever need a consensus
+        log entry again.
+
+        Every process restarts at its own durable checkpoint round, so
+        instances below ``min(checkpointed rounds)`` are dead globally.
+        Peers we have not heard a checkpoint round from contribute 0,
+        which simply makes the watermark conservative.
+        """
+        assert self.node is not None
+        watermark = self.ckpt_k
+        for peer in self.endpoint.peers():
+            if peer == self.node.node_id:
+                continue
+            watermark = min(watermark, self._peer_ckpt.get(peer, 0))
+        return watermark
+
+    # -- Section 5.3: state transfer ----------------------------------------------------------------
+
+    def _peer_behind(self, sender: int, peer_k: int) -> None:
+        """Gossip reception, line d: ``k_p > k_q + Δ`` ⇒ send state."""
+        delta = self.config.delta
+        assert self.node is not None
+        if delta is None or sender == self.node.node_id:
+            return
+        if self.k <= peer_k + delta:
+            return
+        now = self.node.sim.now
+        last = self._last_state_sent.get(sender, -float("inf"))
+        if now - last < self.config.state_resend_interval:
+            return
+        self._last_state_sent[sender] = now
+        self.endpoint.send(sender,
+                           StateMessage(self.k - 1, self.agreed.to_plain()))
+        self.state_transfers_sent += 1
+        self.node.sim.trace("state-transfer", self.node.node_id, "sent",
+                            to=sender, k=self.k - 1)
+
+    def _on_state(self, msg: StateMessage, sender: int) -> None:
+        """Reception of ``state(k_q, A_q)`` (Figure 3, lines e–f)."""
+        if self.k <= msg.k:  # p is late: skip the missed instances
+            assert self.node is not None
+            # (e) terminate task {sequencer}
+            if self._sequencer_task is not None:
+                self._sequencer_task.kill()
+            skipped = msg.k + 1 - self.k
+            self.k = msg.k + 1
+            adopted = AgreedQueue.from_plain(msg.agreed_plain,
+                                             self.order_rule)
+            self.agreed = adopted
+            # Listeners are live (we are up): reset and replay the queue.
+            for listener in self._listeners:
+                listener.on_restore(adopted.checkpoint_state)
+            for message in adopted.sequence():
+                for listener in self._listeners:
+                    listener.on_deliver(message)
+            # Unordered ← Unordered − Agreed
+            for mid in [mid for mid in self.unordered
+                        if self.unordered[mid] in self.agreed]:
+                del self.unordered[mid]
+            self.rounds_skipped += skipped
+            self.state_transfers_adopted += 1
+            self.node.sim.trace("state-transfer", self.node.node_id,
+                                "adopted", from_=sender, skipped=skipped,
+                                new_k=self.k)
+            self._delivered.notify()
+            # (f) fork task {sequencer}
+            self._sequencer_task = self.node.spawn(
+                self._sequencer(), "ab-sequencer")
+        else:
+            self.gossip_k = max(self.gossip_k, msg.k)  # small de-sync
+            self._progress.notify()

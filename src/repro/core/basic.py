@@ -1,0 +1,298 @@
+"""The basic Atomic Broadcast protocol (Figure 2 of the paper).
+
+One consensus-driven ordering loop per process, in consecutive rounds:
+
+* round ``k`` proposes the node's ``Unordered`` set to the ``k``-th
+  consensus instance and moves the decided batch to the ``Agreed`` queue
+  (deterministically ordered, duplicates eliminated);
+* a **gossip task** periodically multisends ``(k, Unordered)`` — it both
+  disseminates data messages (no reliable multicast needed over the
+  fair-loss channel) and lets lagging processes discover how far behind
+  they are (``gossip-k``);
+* the only stable-storage write is the consensus *proposal* — performed
+  inside ``propose`` as its first operation — so Atomic Broadcast adds
+  **zero** log operations beyond the Consensus black box (Section 4.3);
+* on initialisation **or** recovery the ``replay`` procedure re-runs
+  every instance that has a logged proposal: ``propose`` is idempotent
+  and decisions are locked, so the Agreed queue is rebuilt exactly.
+
+The replay and the steady-state sequencer are one loop: for each round,
+"re-propose the logged value if there is one, otherwise wait for work
+and propose the Unordered set".  This matches the paper's observation
+that the current round is simply the first round with no logged proposal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.consensus.base import ConsensusService
+from repro.core.agreed import AgreedQueue
+from repro.core.ids import MessageId
+from repro.core.messages import AppMessage, GossipMessage
+from repro.errors import BroadcastError
+from repro.sim.kernel import Signal
+from repro.sim.process import NodeComponent
+from repro.transport.endpoint import Endpoint
+
+__all__ = ["BasicAtomicBroadcast", "DeliveryListener"]
+
+
+class DeliveryListener:
+    """Upcall interface for the application layer (Figure 1 / Figure 5).
+
+    ``on_deliver`` receives each A-delivered message, in delivery order.
+    ``on_restore`` replaces the application state wholesale — it fires
+    when the queue is rebuilt from a checkpoint or adopted through a
+    state transfer; ``state`` is whatever the application previously
+    returned from its A-checkpoint upcall (``None`` for the initial
+    state, the paper's ``A-checkpoint(⊥)``).
+    """
+
+    def on_deliver(self, message: AppMessage) -> None:
+        """One ordered message became deliverable."""
+
+    def on_restore(self, state: Any) -> None:
+        """The delivery prefix was replaced by an application checkpoint."""
+
+
+class BasicAtomicBroadcast(NodeComponent):
+    """Figure 2: minimal-logging Atomic Broadcast for crash-recovery.
+
+    Parameters
+    ----------
+    endpoint:
+        The node's transport endpoint (``send``/``multisend``/handlers).
+    consensus:
+        The consensus black box (Section 3.2 interface).
+    gossip_interval:
+        Period of the gossip task, in virtual time.
+    """
+
+    name = "atomic-broadcast"
+
+    INCARNATION_KEY = ("ab", "incarnation")
+
+    def __init__(self, endpoint: Endpoint, consensus: ConsensusService,
+                 gossip_interval: float = 0.25, namespace: str = "",
+                 order_rule=None):
+        super().__init__()
+        # A non-empty namespace isolates this instance's durable state —
+        # one Atomic Broadcast stack per process group (Section 6.4).
+        self.namespace = namespace
+        if namespace:
+            self.INCARNATION_KEY = (f"ab@{namespace}", "incarnation")
+        # The predetermined deterministic batch-ordering rule
+        # (Section 4.2): any rule works, but it MUST be cluster-uniform.
+        from repro.core.agreed import deterministic_order
+        self.order_rule = order_rule or deterministic_order
+        self.endpoint = endpoint
+        self.consensus = consensus
+        self.gossip_interval = gossip_interval
+        # Volatile protocol state (Figure 2 "initial values").
+        self.k = 0
+        self.unordered: Dict[MessageId, AppMessage] = {}
+        self.agreed = AgreedQueue(self.order_rule)
+        self.gossip_k = 0
+        # Volatile plumbing.
+        self.incarnation = 0
+        self._seq = 0
+        self._progress: Signal = None  # type: ignore[assignment]
+        self._delivered: Signal = None  # type: ignore[assignment]
+        self._listeners: List[DeliveryListener] = []
+        self._sequencer_task = None
+        self.replay_complete = False
+        # Run statistics (volatile; the harness samples them).
+        self.rounds_completed = 0
+        self.messages_delivered = 0
+        self.replayed_rounds = 0
+
+    # -- lifecycle (upon initialization or recovery) -------------------------------
+
+    def on_start(self) -> None:
+        node = self.node
+        assert node is not None
+        self.k = 0
+        self.unordered = {}
+        self.agreed = AgreedQueue(self.order_rule)
+        self.gossip_k = 0
+        self.replay_complete = False
+        self._progress = node.sim.signal(f"ab-progress@{node.node_id}")
+        self._delivered = node.sim.signal(f"ab-delivered@{node.node_id}")
+        self._listeners = []
+        self._bump_incarnation()
+        self._seq = 0
+        self._restore_volatile_state()
+        self.endpoint.register(GossipMessage.type, self._on_gossip)
+        # (a) fork task { sequencer and gossip }
+        self._sequencer_task = node.spawn(self._sequencer(), "ab-sequencer")
+        node.spawn(self._gossip_task(), "ab-gossip")
+
+    def _bump_incarnation(self) -> None:
+        """Durable incarnation bump: restarted sequence counters mint
+        fresh message ids (see :mod:`repro.core.ids`).  The crash-stop
+        baseline overrides this with a volatile counter."""
+        assert self.node is not None
+        self.incarnation = int(self.node.storage.retrieve(
+            self.INCARNATION_KEY, 0)) + 1
+        self.node.storage.log(self.INCARNATION_KEY, self.incarnation)
+
+    def _restore_volatile_state(self) -> None:
+        """Hook for subclasses: load checkpointed state before replay.
+
+        The basic protocol logs nothing beyond consensus proposals, so the
+        replay starts from round 0 with an empty queue.
+        """
+
+    def on_crash(self) -> None:
+        self.k = 0
+        self.unordered = {}
+        self.agreed = AgreedQueue(self.order_rule)
+        self.gossip_k = 0
+        self._listeners = []
+        self._sequencer_task = None
+        self.replay_complete = False
+
+    # -- upper-layer interface (Figure 1) ----------------------------------------------
+
+    def add_listener(self, listener: DeliveryListener) -> None:
+        """Subscribe to delivery upcalls (volatile; redo after recovery)."""
+        self._listeners.append(listener)
+
+    def submit(self, payload: Any) -> AppMessage:
+        """Non-blocking ``A-broadcast``: enqueue and return immediately.
+
+        The paper's blocking semantics (return only once the message is
+        ordered or durably logged) are provided by :meth:`broadcast`.
+        """
+        assert self.node is not None
+        if not self.node.up:
+            raise BroadcastError("A-broadcast on a down process")
+        self._seq += 1
+        message = AppMessage(
+            MessageId(self.node.node_id, self.incarnation, self._seq),
+            payload)
+        self._admit_locally(message)
+        return message
+
+    def _admit_locally(self, message: AppMessage) -> None:
+        """``Unordered ← (Unordered ∪ {m}) − Agreed``."""
+        if message not in self.agreed and message.id not in self.unordered:
+            self.unordered[message.id] = message
+            self._progress.notify()
+
+    def broadcast(self, payload: Any) -> Generator[Any, Any, AppMessage]:
+        """The paper's ``A-broadcast(m)``: returns once ``m ∈ Agreed``.
+
+        If the process crashes before this returns, the message may or
+        may not have been broadcast — exactly the paper's contract.
+        """
+        message = self.submit(payload)
+        while message not in self.agreed:
+            yield self._delivered.wait()
+        return message
+
+    def deliver_sequence(self) -> List[AppMessage]:
+        """The paper's ``A-deliver-sequence()``: the explicit Agreed tail."""
+        return self.agreed.sequence()
+
+    def delivered_count(self) -> int:
+        """Total messages delivered (including any checkpointed prefix)."""
+        return len(self.agreed)
+
+    # -- gossip task --------------------------------------------------------------------
+
+    def _gossip_task(self):
+        while True:
+            self.endpoint.multisend(
+                GossipMessage(self.k, frozenset(self.unordered.values()),
+                              self._checkpoint_round()))
+            yield self.gossip_interval
+
+    def _on_gossip(self, msg: GossipMessage, sender: int) -> None:
+        """Reception of ``gossip(k_q, U_q)`` (executed atomically)."""
+        for message in msg.unordered:
+            self._admit_locally(message)
+        self._note_peer_checkpoint(sender, msg.ckpt_k)
+        if msg.k > self.k:
+            self.gossip_k = max(self.gossip_k, msg.k)  # q was ahead
+            self._progress.notify()
+        else:
+            self._peer_behind(sender, msg.k)
+
+    def _checkpoint_round(self) -> int:
+        """Round covered by this node's durable checkpoint (basic: none)."""
+        return 0
+
+    def _note_peer_checkpoint(self, sender: int, ckpt_k: int) -> None:
+        """Hook for subclasses: watermark bookkeeping for log truncation."""
+
+    def _peer_behind(self, sender: int, peer_k: int) -> None:
+        """Hook for subclasses: a peer lags behind us (state transfer)."""
+
+    # -- sequencer task --------------------------------------------------------------------
+
+    def _sequencer(self):
+        assert self.node is not None
+        self._announce_restore()
+        while True:
+            logged = self.consensus.proposal_of(self.k)
+            if logged is not None:
+                # Replay (or idempotent re-join of the in-flight round).
+                self.consensus.propose(self.k, logged)
+                if not self.replay_complete:
+                    self.replayed_rounds += 1
+            else:
+                if not self.replay_complete:
+                    self._finish_replay()
+                # wait until (Unordered ≠ ∅) or (gossip-k > k)
+                while not self.unordered and self.gossip_k <= self.k:
+                    yield self._progress.wait()
+                # Propose the Unordered set — possibly empty, when we only
+                # know we lagged behind (the decision for this round was
+                # taken without our proposal anyway).
+                value = frozenset(self.unordered.values())
+                self.consensus.propose(self.k, value)
+            result = yield from self.consensus.wait_decided(self.k)
+            self._commit_round(result)
+
+    def _commit_round(self, result) -> None:
+        """Move the decided batch to Agreed and open the next round.
+
+        Bracketed in the paper: executed atomically w.r.t. gossip handling
+        (trivially true here — the kernel is single-threaded and this
+        method never yields).
+        """
+        appended = self.agreed.append_batch(result)
+        self.node.sim.trace("round", self.node.node_id, "commit",
+                            k=self.k, batch=len(result),
+                            new=len(appended))
+        self.k += 1
+        self.rounds_completed += 1
+        # Unordered ← Unordered − Agreed
+        for message in appended:
+            self.unordered.pop(message.id, None)
+        self.messages_delivered += len(appended)
+        for message in appended:
+            for listener in self._listeners:
+                listener.on_deliver(message)
+        if appended:
+            self._delivered.notify()
+        self._after_round()
+
+    def _after_round(self) -> None:
+        """Hook for subclasses (checkpointing, batching bookkeeping)."""
+
+    def _announce_restore(self) -> None:
+        """Hook for subclasses: replay a restored checkpoint to listeners.
+
+        Runs as the sequencer's first step — after every component's
+        ``on_start`` has executed, so application listeners are already
+        subscribed.
+        """
+
+    def _finish_replay(self) -> None:
+        """Replay done: the node is caught up with its own log."""
+        assert self.node is not None
+        self.replay_complete = True
+        self.node.mark_recovery_complete()

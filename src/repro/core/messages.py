@@ -1,0 +1,104 @@
+"""Application messages and Atomic Broadcast wire messages.
+
+* :class:`AppMessage` — a payload travelling through Atomic Broadcast,
+  identified by a :class:`~repro.core.ids.MessageId` (identity-based
+  equality, so sets of messages deduplicate by id exactly as the paper's
+  idempotent Unordered/Agreed operations require).
+* :class:`GossipMessage` — ``gossip(k_p, Unordered_p)`` of Figure 2.
+* :class:`StateMessage` — ``state(k_p - 1, Agreed_p)`` of Figure 3
+  (Section 5.3 state transfer).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Tuple
+
+from repro.core.ids import MessageId
+from repro.sizing import estimate_size
+from repro.storage import codec
+from repro.transport.message import WireMessage
+
+__all__ = ["AppMessage", "GossipMessage", "StateMessage"]
+
+
+class AppMessage:
+    """An application payload with a unique identity.
+
+    Equality and hashing are by id only: two copies of the same broadcast
+    are *the same message*, which is what makes duplicate elimination in
+    the Unordered set and the Agreed queue idempotent (Section 4.1).
+    Payloads must be immutable (strings, numbers, tuples).
+    """
+
+    __slots__ = ("id", "payload")
+
+    def __init__(self, id: MessageId, payload: Any = None):
+        self.id = id
+        self.payload = payload
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AppMessage) and self.id == other.id
+
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        """The deterministic batch-ordering rule (Section 4.2)."""
+        return tuple(self.id)  # type: ignore[return-value]
+
+    def estimated_size(self) -> int:
+        return 12 + estimate_size(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AppMessage({self.id.label()}, {self.payload!r})"
+
+
+def _message_to_plain(message: AppMessage) -> list:
+    return [tuple(message.id), message.payload]
+
+
+def _message_from_plain(plain: list) -> AppMessage:
+    identity, payload = plain
+    return AppMessage(MessageId(*identity), payload)
+
+
+codec.register(AppMessage, "AppMessage", _message_to_plain,
+               _message_from_plain)
+
+
+class GossipMessage(WireMessage):
+    """``gossip(k, Unordered)``: round number + unordered messages.
+
+    ``ckpt_k`` piggybacks the sender's durably checkpointed round so that
+    peers can compute the global garbage-collection watermark (the lowest
+    checkpointed round across all processes): consensus logs below the
+    watermark can never be needed again by anyone — a recovering process
+    restarts at its own checkpoint — so they are safe to discard.  This
+    makes the paper's "line c" log truncation safe for *other* processes
+    too, not just the local replay (see DESIGN.md, substitutions).
+    """
+
+    type = "ab.gossip"
+    fields = ("k", "unordered", "ckpt_k")
+
+    def __init__(self, k: int, unordered: FrozenSet[AppMessage],
+                 ckpt_k: int = 0):
+        self.k = k
+        self.unordered = unordered
+        self.ckpt_k = ckpt_k
+
+
+class StateMessage(WireMessage):
+    """``state(k, Agreed)``: a finished round number + the sender's queue.
+
+    ``agreed_plain`` is the portable representation produced by
+    :meth:`repro.core.agreed.AgreedQueue.to_plain`, so the receiver can
+    adopt it wholesale (Section 5.3).
+    """
+
+    type = "ab.state"
+    fields = ("k", "agreed_plain")
+
+    def __init__(self, k: int, agreed_plain: Any):
+        self.k = k
+        self.agreed_plain = agreed_plain

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the simulation kernel (bad yields, dead tasks)."""
+
+
+class TaskKilled(BaseException):
+    """Thrown into a task's generator when the task is killed.
+
+    Deliberately derives from :class:`BaseException` (like
+    :class:`GeneratorExit`) so that protocol code written with broad
+    ``except Exception`` clauses cannot accidentally swallow a crash.
+    """
+
+
+class ProcessDown(ReproError):
+    """Raised when an operation is attempted on a node that is down."""
+
+
+class StorageError(ReproError):
+    """Raised for stable-storage failures (corruption, bad keys)."""
+
+
+class ConsensusError(ReproError):
+    """Raised for violations of the consensus interface contract."""
+
+
+class ProposalMismatch(ConsensusError):
+    """Raised when ``propose(k, v)`` is re-invoked with a different value.
+
+    Property P4 of the paper requires a process to always propose the same
+    value to a given consensus instance; the consensus service enforces it.
+    """
+
+
+class BroadcastError(ReproError):
+    """Raised for misuse of the Atomic Broadcast API."""
+
+
+class VerificationError(ReproError):
+    """Raised by the harness when a run violates an Atomic Broadcast property."""

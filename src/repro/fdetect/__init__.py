@@ -1,0 +1,10 @@
+"""Failure detection: heartbeat detector and Ω leader oracle.
+
+Used only by the consensus substrate; the Atomic Broadcast layer is
+failure-detector-free, as the paper emphasises (Sections 1, 3.5, 7).
+"""
+
+from repro.fdetect.heartbeat import Heartbeat, HeartbeatDetector
+from repro.fdetect.omega import OmegaOracle
+
+__all__ = ["Heartbeat", "HeartbeatDetector", "OmegaOracle"]

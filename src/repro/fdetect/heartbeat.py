@@ -1,0 +1,167 @@
+"""Heartbeat failure detector with adaptive timeouts.
+
+An eventually-perfect-style detector for the crash-recovery model: every
+up process periodically multisends ``ALIVE(epoch)``; a peer is *suspected*
+when no heartbeat has arrived within the current (per-peer) timeout.
+
+Two properties matter for the consensus layer built on top:
+
+* **Completeness** — a process that stays down stops sending heartbeats
+  and is eventually suspected by every up process.
+* **Eventual accuracy** — each time a suspicion proves wrong (a heartbeat
+  arrives from a suspected peer) that peer's timeout is increased, so in
+  runs whose delays are bounded a good process is eventually never
+  suspected.
+
+The heartbeat carries an *epoch* counter logged in stable storage and
+incremented on every start/recovery, in the spirit of the unbounded
+failure detectors of Aguilera, Chen and Toueg [1]: observers can tell a
+recovered incarnation from a stale one, and :meth:`epoch_of` exposes the
+count so layers above can detect unstable (oscillating) peers.
+
+The Atomic Broadcast layer itself never reads this detector — the paper's
+protocol is failure-detector-free.  Only the consensus substrate (via the
+Ω oracle in :mod:`repro.fdetect.omega`) uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.sim.kernel import Signal
+from repro.sim.process import NodeComponent
+from repro.transport.endpoint import Endpoint
+from repro.transport.message import WireMessage
+
+__all__ = ["Heartbeat", "HeartbeatDetector"]
+
+
+class Heartbeat(WireMessage):
+    """``ALIVE`` wire message: sender's current epoch."""
+
+    type = "fd.alive"
+    fields = ("epoch",)
+
+    def __init__(self, epoch: int):
+        self.epoch = epoch
+
+
+class HeartbeatDetector(NodeComponent):
+    """Per-node failure detector module (one oracle per process).
+
+    Parameters
+    ----------
+    endpoint:
+        The node's transport endpoint.
+    period:
+        Heartbeat emission period.
+    initial_timeout:
+        Starting suspicion timeout per peer (adapted upwards on mistakes).
+    timeout_increment:
+        Additive increase applied each time a suspicion is refuted.
+    """
+
+    name = "failure-detector"
+
+    EPOCH_KEY = ("fd", "epoch")
+
+    def __init__(self, endpoint: Endpoint, period: float = 0.5,
+                 initial_timeout: float = 2.0,
+                 timeout_increment: float = 0.5,
+                 durable_epoch: bool = True):
+        super().__init__()
+        self.endpoint = endpoint
+        self.period = period
+        self.initial_timeout = initial_timeout
+        self.timeout_increment = timeout_increment
+        self.durable_epoch = durable_epoch
+        self.epoch = 0
+        self._last_heard: Dict[int, float] = {}
+        self._timeouts: Dict[int, float] = {}
+        self._suspects: Set[int] = set()
+        self._epochs: Dict[int, int] = {}
+        self.changed: Signal = None  # type: ignore[assignment]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_start(self) -> None:
+        node = self.node
+        assert node is not None
+        sim = node.sim
+        self.changed = sim.signal(f"fd-changed@{node.node_id}")
+        # New incarnation: bump the epoch counter (durable in the
+        # crash-recovery model; volatile suffices for crash-stop).
+        if self.durable_epoch:
+            self.epoch = int(node.storage.retrieve(self.EPOCH_KEY, 0)) + 1
+            node.storage.log(self.EPOCH_KEY, self.epoch)
+        else:
+            self.epoch += 1
+        self._last_heard = {peer: sim.now for peer in self.endpoint.peers()}
+        self._timeouts = {}
+        self._suspects = set()
+        self._epochs = {}
+        self.endpoint.register(Heartbeat.type, self._on_heartbeat)
+        node.spawn(self._beat_loop(), "fd-beat")
+        node.spawn(self._check_loop(), "fd-check")
+
+    def on_crash(self) -> None:
+        self._last_heard = {}
+        self._suspects = set()
+        self._epochs = {}
+
+    # -- queries ----------------------------------------------------------------
+
+    def suspects(self) -> Set[int]:
+        """The current set of suspected peers (never includes self)."""
+        return set(self._suspects)
+
+    def is_suspected(self, peer: int) -> bool:
+        """True if ``peer`` is currently suspected."""
+        return peer in self._suspects
+
+    def epoch_of(self, peer: int) -> int:
+        """Last epoch counter heard from ``peer`` (0 if never heard)."""
+        return self._epochs.get(peer, 0)
+
+    def timeout_for(self, peer: int) -> float:
+        """Current (adapted) suspicion timeout for ``peer``."""
+        return self._timeouts.get(peer, self.initial_timeout)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _on_heartbeat(self, message: Heartbeat, sender: int) -> None:
+        assert self.node is not None
+        self._last_heard[sender] = self.node.sim.now
+        self._epochs[sender] = max(self._epochs.get(sender, 0), message.epoch)
+        if sender in self._suspects:
+            # Wrong suspicion: rehabilitate and grow this peer's timeout.
+            self._suspects.discard(sender)
+            self._timeouts[sender] = (self.timeout_for(sender)
+                                      + self.timeout_increment)
+            self.node.sim.trace("fd", self.node.node_id, "rehabilitate",
+                                peer=sender)
+            self.changed.notify()
+
+    def _beat_loop(self):
+        while True:
+            self.endpoint.multisend(Heartbeat(self.epoch))
+            yield self.period
+
+    def _check_loop(self):
+        assert self.node is not None
+        node = self.node
+        while True:
+            yield self.period
+            now = node.sim.now
+            newly_suspected = False
+            for peer in self.endpoint.peers():
+                if peer == node.node_id or peer in self._suspects:
+                    continue
+                last = self._last_heard.get(peer, 0.0)
+                if now - last > self.timeout_for(peer):
+                    self._suspects.add(peer)
+                    node.sim.trace("fd", node.node_id, "suspect",
+                                   peer=peer)
+                    newly_suspected = True
+            if newly_suspected:
+                self.changed.notify()

@@ -1,0 +1,60 @@
+"""Ω leader oracle derived from the heartbeat detector.
+
+Ω is the weakest failure detector for consensus: it eventually outputs the
+same good process at every good process.  We derive it the classic way —
+trust the lowest-id peer that is not currently suspected.  Once the
+heartbeat detector stops making mistakes about good processes (its
+timeouts have adapted), every up process trusts the same lowest-id good
+process forever, which is exactly the stability window the consensus
+layer needs to terminate.
+"""
+
+from __future__ import annotations
+
+from repro.fdetect.heartbeat import HeartbeatDetector
+from repro.sim.kernel import Signal
+from repro.sim.process import NodeComponent
+
+__all__ = ["OmegaOracle"]
+
+
+class OmegaOracle(NodeComponent):
+    """Per-node eventual leader election."""
+
+    name = "omega"
+
+    def __init__(self, detector: HeartbeatDetector):
+        super().__init__()
+        self.detector = detector
+        self.changed: Signal = None  # type: ignore[assignment]
+        self._last_leader: int = -1
+
+    def on_start(self) -> None:
+        assert self.node is not None
+        self.changed = self.node.sim.signal(f"omega@{self.node.node_id}")
+        self._last_leader = -1
+        self.node.spawn(self._watch(), "omega-watch")
+
+    def leader(self) -> int:
+        """The currently trusted leader (lowest unsuspected id)."""
+        assert self.node is not None
+        suspects = self.detector.suspects()
+        candidates = [peer for peer in self.detector.endpoint.peers()
+                      if peer not in suspects]
+        if not candidates:  # everyone suspected: fall back to self
+            return self.node.node_id
+        return min(candidates)
+
+    def is_leader(self) -> bool:
+        """True if this node currently trusts itself."""
+        assert self.node is not None
+        return self.leader() == self.node.node_id
+
+    def _watch(self):
+        """Re-evaluate leadership whenever the detector output changes."""
+        while True:
+            yield self.detector.changed.wait()
+            current = self.leader()
+            if current != self._last_leader:
+                self._last_leader = current
+                self.changed.notify(current)

@@ -1,0 +1,21 @@
+"""Experiment harness: cluster assembly, scenario runs, verification."""
+
+from repro.harness.cluster import PROTOCOLS, Cluster, ClusterConfig
+from repro.harness.report import format_table, print_table
+from repro.harness.scenario import Scenario, ScenarioResult, run_scenario
+from repro.harness.verify import (VerificationReport, canonical_sequence,
+                                  verify_run)
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "PROTOCOLS",
+    "Scenario",
+    "ScenarioResult",
+    "VerificationReport",
+    "canonical_sequence",
+    "format_table",
+    "print_table",
+    "run_scenario",
+    "verify_run",
+]

@@ -1,0 +1,255 @@
+"""Cluster builder: assemble a full protocol stack per configuration.
+
+One :class:`Cluster` owns a simulator, a network, ``n`` nodes and, per
+node, the selected protocol stack:
+
+====================  ==========================================================
+``protocol``          stack
+====================  ==========================================================
+``"basic"``           Endpoint → HeartbeatDetector → Ω → PaxosConsensus
+                      (durable) → BasicAtomicBroadcast (Figure 2)
+``"alternative"``     same, with AlternativeAtomicBroadcast (Figures 3–4)
+``"eager"``           same, with the eager-logging strawman baseline
+``"ct"``              Endpoint → HeartbeatDetector → ChandraTouegConsensus
+                      → ChandraTouegAtomicBroadcast (crash-stop baseline)
+``"sequencer"``       Endpoint → FixedSequencerBroadcast (no consensus)
+====================  ==========================================================
+
+On top of every stack sits a
+:class:`~repro.apps.base.ReplicatedStateMachine` hosting the configured
+application and reporting to the shared
+:class:`~repro.metrics.collector.MetricsCollector`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.apps.base import ReplicatedStateMachine
+from repro.apps.counter import SequenceRecorder
+from repro.baselines.ct_abcast import ChandraTouegAtomicBroadcast
+from repro.baselines.eager import EagerLoggingAtomicBroadcast
+from repro.baselines.sequencer import FixedSequencerBroadcast
+from repro.consensus.chandra_toueg import ChandraTouegConsensus
+from repro.consensus.paxos import PaxosConsensus
+from repro.core.alternative import (AlternativeAtomicBroadcast,
+                                    AlternativeConfig)
+from repro.core.basic import BasicAtomicBroadcast
+from repro.core.messages import AppMessage
+from repro.errors import SimulationError
+from repro.fdetect.heartbeat import HeartbeatDetector
+from repro.fdetect.omega import OmegaOracle
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.sim.kernel import Simulator
+from repro.sim.process import Node
+from repro.sim.rng import SeedSequence
+from repro.storage.memory import MemoryStorage
+from repro.transport.endpoint import Endpoint
+from repro.transport.network import Network, NetworkConfig
+
+__all__ = ["Cluster", "ClusterConfig", "PROTOCOLS"]
+
+PROTOCOLS = ("basic", "alternative", "eager", "ct", "sequencer")
+
+
+class ClusterConfig:
+    """Everything needed to build a reproducible cluster."""
+
+    def __init__(self,
+                 n: int = 3,
+                 seed: int = 0,
+                 protocol: str = "basic",
+                 network: Optional[NetworkConfig] = None,
+                 alt: Optional[AlternativeConfig] = None,
+                 app_factory: Callable[[], Any] = SequenceRecorder,
+                 gossip_interval: float = 0.25,
+                 attempt_timeout: float = 1.0,
+                 fd_period: float = 0.5,
+                 fd_timeout: float = 2.0,
+                 sequencer_id: int = 0,
+                 storage_factory: Callable[[int], Any] = None):
+        if protocol not in PROTOCOLS:
+            raise SimulationError(
+                f"unknown protocol {protocol!r}; pick one of {PROTOCOLS}")
+        if n < 1:
+            raise SimulationError("a cluster needs at least one node")
+        self.n = n
+        self.seed = seed
+        self.protocol = protocol
+        self.network = network or NetworkConfig()
+        self.alt = alt
+        self.app_factory = app_factory
+        self.gossip_interval = gossip_interval
+        self.attempt_timeout = attempt_timeout
+        self.fd_period = fd_period
+        self.fd_timeout = fd_timeout
+        self.sequencer_id = sequencer_id
+        # storage_factory(node_id) -> StableStorage; defaults to the
+        # in-memory simulation backend.
+        self.storage_factory = storage_factory or \
+            (lambda node_id: MemoryStorage())
+
+
+class Cluster:
+    """A built, ready-to-run cluster."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.seeds = SeedSequence(config.seed)
+        self.network = Network(self.sim, self.seeds.stream("network"),
+                               config.network)
+        self.collector = MetricsCollector()
+        self.nodes: Dict[int, Node] = {}
+        self.abcasts: Dict[int, Any] = {}
+        self.consensuses: Dict[int, Any] = {}
+        self.rsms: Dict[int, ReplicatedStateMachine] = {}
+        for node_id in range(config.n):
+            self._build_node(node_id)
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_node(self, node_id: int) -> None:
+        config = self.config
+        node = Node(self.sim, node_id, config.storage_factory(node_id))
+        endpoint = node.add_component(Endpoint(self.network))
+        abcast: Any
+        if config.protocol == "sequencer":
+            abcast = node.add_component(FixedSequencerBroadcast(
+                endpoint, sequencer_id=config.sequencer_id))
+        else:
+            detector = node.add_component(HeartbeatDetector(
+                endpoint, period=config.fd_period,
+                initial_timeout=config.fd_timeout,
+                durable_epoch=config.protocol != "ct"))
+            if config.protocol == "ct":
+                consensus = node.add_component(
+                    ChandraTouegConsensus(endpoint, detector))
+            else:
+                omega = node.add_component(OmegaOracle(detector))
+                consensus = node.add_component(PaxosConsensus(
+                    endpoint, omega, durable=True,
+                    attempt_timeout=config.attempt_timeout))
+            consensus.observer = self.collector
+            self.consensuses[node_id] = consensus
+            if config.protocol == "basic":
+                abcast = BasicAtomicBroadcast(
+                    endpoint, consensus,
+                    gossip_interval=config.gossip_interval)
+            elif config.protocol == "alternative":
+                abcast = AlternativeAtomicBroadcast(
+                    endpoint, consensus,
+                    gossip_interval=config.gossip_interval,
+                    config=config.alt or AlternativeConfig())
+            elif config.protocol == "eager":
+                abcast = EagerLoggingAtomicBroadcast(
+                    endpoint, consensus,
+                    gossip_interval=config.gossip_interval)
+            elif config.protocol == "ct":
+                abcast = ChandraTouegAtomicBroadcast(
+                    endpoint, consensus,
+                    gossip_interval=config.gossip_interval)
+            node.add_component(abcast)
+        rsm = node.add_component(ReplicatedStateMachine(
+            abcast, config.app_factory, self.collector))
+        self.network.register(node)
+        self.nodes[node_id] = node
+        self.abcasts[node_id] = abcast
+        self.rsms[node_id] = rsm
+
+    # -- control -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every node (initial ``up`` transition)."""
+        for node in self.nodes.values():
+            node.start()
+
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.nodes))
+
+    def submit(self, node_id: int, payload: Any) -> AppMessage:
+        """A-broadcast ``payload`` from ``node_id`` (non-blocking)."""
+        return self.rsms[node_id].submit(payload)
+
+    def crash(self, node_id: int) -> None:
+        self.nodes[node_id].crash()
+
+    def recover(self, node_id: int) -> None:
+        self.nodes[node_id].recover()
+
+    def run(self, until: float) -> float:
+        """Advance virtual time."""
+        return self.sim.run(until=until)
+
+    def settle(self, limit: float, check_interval: float = 1.0) -> bool:
+        """Keep running until every up node has delivered every broadcast
+        message, or ``limit`` virtual time passes.  Returns ``True`` when
+        fully settled."""
+        target = len(self.collector.broadcast_times)
+        while self.sim.now < limit:
+            if self._settled(target):
+                return True
+            self.sim.run(until=min(limit, self.sim.now + check_interval))
+        return self._settled(target)
+
+    def _settled(self, target: int) -> bool:
+        for node_id, node in self.nodes.items():
+            if not node.up:
+                continue
+            abcast = self.abcasts[node_id]
+            if abcast.delivered_count() < len(self.collector.first_delivery):
+                return False
+        # Every up node saw every message that anyone delivered; check the
+        # backlog too: anything broadcast but not yet ordered anywhere?
+        undelivered = target - len(self.collector.first_delivery)
+        if undelivered == 0:
+            return True
+        # Messages can be legitimately lost if their sender crashed before
+        # dissemination; treat those as settled only if no up node still
+        # holds them in its Unordered set.
+        for node_id, node in self.nodes.items():
+            if node.up and getattr(self.abcasts[node_id], "unordered", None):
+                return False
+        return True
+
+    # -- reporting -----------------------------------------------------------------
+
+    def app(self, node_id: int) -> Any:
+        """The application instance currently hosted at a node."""
+        return self.rsms[node_id].app
+
+    def metrics(self) -> RunMetrics:
+        """Aggregate the run's metrics (callable at any point)."""
+        storage_by_node = {}
+        prefix_ops = {}
+        prefix_bytes = {}
+        residency = {}
+        node_stats: Dict[int, Dict[str, Any]] = {}
+        for node_id, node in self.nodes.items():
+            storage_by_node[node_id] = node.storage.metrics.snapshot()
+            prefix_ops[node_id] = dict(node.storage.metrics.ops_by_prefix)
+            prefix_bytes[node_id] = dict(node.storage.metrics.bytes_by_prefix)
+            residency[node_id] = node.storage.total_bytes_stored()
+            abcast = self.abcasts[node_id]
+            node_stats[node_id] = {
+                "up": node.up,
+                "crashes": node.crash_count,
+                "recoveries": node.recovery_count,
+                "uptime": node.uptime(),
+                "rounds": getattr(abcast, "k", None),
+                "delivered": abcast.delivered_count(),
+                "replayed_rounds": getattr(abcast, "replayed_rounds", 0),
+                "rounds_skipped": getattr(abcast, "rounds_skipped", 0),
+                "checkpoints": getattr(abcast, "checkpoints_taken", 0),
+                "recovery_durations": list(node.recovery_durations),
+            }
+        return RunMetrics(
+            duration=self.sim.now,
+            collector=self.collector,
+            storage_by_node=storage_by_node,
+            storage_prefix_ops=prefix_ops,
+            storage_prefix_bytes=prefix_bytes,
+            storage_residency=residency,
+            network=self.network.metrics.snapshot(),
+            node_stats=node_stats,
+        )

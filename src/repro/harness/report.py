@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print one table per reproduced claim; these helpers keep the
+formatting consistent (fixed-width columns, a title rule, footnotes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "print_table", "fmt"]
+
+
+def fmt(value: Any) -> str:
+    """Compact cell formatting: floats to 3 significant places."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]],
+                 note: Optional[str] = None) -> str:
+    """Render a fixed-width table as a string."""
+    materialized: List[List[str]] = [[fmt(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    rule = "-" * len(line(headers))
+    parts = ["", f"== {title} ==", line(headers), rule]
+    parts.extend(line(row) for row in materialized)
+    if note:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[Any]],
+                note: Optional[str] = None) -> None:
+    """Print a table (benches use this to regenerate the paper's claims)."""
+    print(format_table(title, headers, rows, note))

@@ -1,0 +1,13 @@
+"""Metric collection and statistics for scenario runs."""
+
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.stats import mean, percentile, stdev, summarize
+
+__all__ = [
+    "MetricsCollector",
+    "RunMetrics",
+    "mean",
+    "percentile",
+    "stdev",
+    "summarize",
+]

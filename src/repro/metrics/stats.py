@@ -1,0 +1,57 @@
+"""Small statistics helpers (no numpy dependency in the hot path)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["percentile", "summarize", "mean", "stdev"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two samples)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0 <= q <= 100), linear interpolation."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} out of range")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Mean/median/p95/p99/min/max summary of a sample."""
+    sample: List[float] = list(values)
+    return {
+        "count": float(len(sample)),
+        "mean": mean(sample),
+        "p50": percentile(sample, 50),
+        "p95": percentile(sample, 95),
+        "p99": percentile(sample, 99),
+        "min": min(sample) if sample else 0.0,
+        "max": max(sample) if sample else 0.0,
+    }

@@ -1,0 +1,7 @@
+"""Total order multicast to multiple groups (Section 6.4 extension)."""
+
+from repro.multigroup.builder import MultiGroupCluster
+from repro.multigroup.multicast import (MulticastListener,
+                                        MultiGroupMulticast)
+
+__all__ = ["MultiGroupCluster", "MultiGroupMulticast", "MulticastListener"]

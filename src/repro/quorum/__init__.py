@@ -1,0 +1,5 @@
+"""Quorum-based replication substrate (Section 6.3 companion)."""
+
+from repro.quorum.register import QuorumRegister
+
+__all__ = ["QuorumRegister"]

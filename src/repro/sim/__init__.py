@@ -1,0 +1,41 @@
+"""Deterministic discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`~repro.sim.kernel.Simulator`, :class:`~repro.sim.kernel.Task`,
+  :class:`~repro.sim.kernel.Event`, :class:`~repro.sim.kernel.Signal` —
+  the virtual-time kernel.
+* :class:`~repro.sim.process.Node`,
+  :class:`~repro.sim.process.NodeComponent` — the crash-recovery process
+  model.
+* :class:`~repro.sim.faults.FaultSchedule`,
+  :class:`~repro.sim.faults.RandomFaults` — fault injection.
+* :class:`~repro.sim.rng.SeedSequence` — named seeded randomness.
+"""
+
+from repro.sim.faults import (FaultEvent, FaultSchedule,
+                              PartitionSchedule, RandomFaults)
+from repro.sim.kernel import AnyOf, Event, Signal, Simulator, Task, Timer
+from repro.sim.process import Node, NodeComponent
+from repro.sim.realtime import RealTimeRunner
+from repro.sim.rng import SeedSequence
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "AnyOf",
+    "Event",
+    "FaultEvent",
+    "FaultSchedule",
+    "Node",
+    "NodeComponent",
+    "PartitionSchedule",
+    "RandomFaults",
+    "RealTimeRunner",
+    "SeedSequence",
+    "Signal",
+    "Simulator",
+    "Task",
+    "Timer",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,194 @@
+"""Fault injection: crash/recover schedules for crash-recovery runs.
+
+Two injectors are provided:
+
+* :class:`FaultSchedule` — an explicit, hand-written timeline of crash and
+  recover events (used by targeted tests and recovery benchmarks).
+* :class:`RandomFaults` — seeded random crash/recovery with per-node
+  mean-time-to-failure and mean-time-to-repair.  After ``stabilize_at``
+  no further crashes are injected on *good* nodes, so they satisfy the
+  paper's definition of a good process ("eventually remains permanently
+  up", Section 3.3).  Nodes listed in ``bad_nodes`` keep oscillating
+  forever (or stay down), modelling *bad* processes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Node
+
+__all__ = ["FaultEvent", "FaultSchedule", "PartitionSchedule",
+           "RandomFaults"]
+
+
+class FaultEvent:
+    """One entry of an explicit fault timeline."""
+
+    __slots__ = ("time", "node_id", "action")
+
+    CRASH = "crash"
+    RECOVER = "recover"
+
+    def __init__(self, time: float, node_id: int, action: str):
+        if action not in (self.CRASH, self.RECOVER):
+            raise ValueError(f"unknown fault action {action!r}")
+        self.time = time
+        self.node_id = node_id
+        self.action = action
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultEvent({self.time}, {self.node_id}, {self.action!r})"
+
+
+class FaultSchedule:
+    """Explicit crash/recover timeline.
+
+    >>> schedule = FaultSchedule([(5.0, 1, "crash"), (9.0, 1, "recover")])
+    """
+
+    def __init__(self, events: Iterable[Tuple[float, int, str]] = ()):
+        self.events: List[FaultEvent] = [
+            event if isinstance(event, FaultEvent) else FaultEvent(*event)
+            for event in events
+        ]
+
+    def crash(self, time: float, node_id: int) -> "FaultSchedule":
+        """Append a crash event (chainable)."""
+        self.events.append(FaultEvent(time, node_id, FaultEvent.CRASH))
+        return self
+
+    def recover(self, time: float, node_id: int) -> "FaultSchedule":
+        """Append a recover event (chainable)."""
+        self.events.append(FaultEvent(time, node_id, FaultEvent.RECOVER))
+        return self
+
+    def install(self, sim: Simulator, nodes: Dict[int, Node]) -> None:
+        """Schedule every event on the simulator."""
+        for event in self.events:
+            node = nodes[event.node_id]
+            if event.action == FaultEvent.CRASH:
+                sim.schedule(event.time, node.crash)
+            else:
+                sim.schedule(event.time, node.recover)
+
+
+class PartitionSchedule:
+    """Explicit network partition timeline.
+
+    Each entry isolates a set of nodes from the rest of the cluster for
+    a time window; links inside either side keep working.  Fairness of
+    the channel (and therefore liveness of the protocols) requires every
+    partition to eventually heal, which this schedule guarantees by
+    construction.
+
+    >>> schedule = PartitionSchedule().isolate(2.0, 6.0, [0])
+    """
+
+    def __init__(self) -> None:
+        self._windows: List[Tuple[float, float, Tuple[int, ...]]] = []
+
+    def isolate(self, start: float, end: float,
+                nodes: Iterable[int]) -> "PartitionSchedule":
+        """Cut ``nodes`` off from everyone else during [start, end)."""
+        if end <= start:
+            raise ValueError("partition window must have positive length")
+        self._windows.append((start, end, tuple(sorted(set(nodes)))))
+        return self
+
+    def install(self, sim: Simulator, network) -> None:
+        """Schedule the cut and heal events on the network."""
+        for start, end, isolated in self._windows:
+            sim.schedule(start, self._cut, network, isolated)
+            sim.schedule(end, self._heal, network, isolated)
+
+    @staticmethod
+    def _cut(network, isolated: Tuple[int, ...]) -> None:
+        others = [n for n in network.node_ids() if n not in isolated]
+        for a in isolated:
+            for b in others:
+                network.partition(a, b)
+
+    @staticmethod
+    def _heal(network, isolated: Tuple[int, ...]) -> None:
+        others = [n for n in network.node_ids() if n not in isolated]
+        for a in isolated:
+            for b in others:
+                network.heal(a, b)
+
+
+class RandomFaults:
+    """Seeded random crash-recovery injection.
+
+    Parameters
+    ----------
+    mttf:
+        Mean virtual time between a node coming up and its next crash
+        (exponential).
+    mttr:
+        Mean down-time before recovery (exponential).
+    stabilize_at:
+        After this instant no new crashes are injected on good nodes and
+        any down good node is recovered, so good nodes *eventually remain
+        permanently up*.
+    bad_nodes:
+        Node ids that keep oscillating past ``stabilize_at`` (paper's
+        "bad" processes).  ``bad_mode`` selects whether they oscillate
+        forever (``"oscillate"``) or crash permanently (``"die"``).
+    """
+
+    def __init__(self, mttf: float, mttr: float, stabilize_at: float,
+                 seed: int = 0,
+                 bad_nodes: Sequence[int] = (),
+                 bad_mode: str = "oscillate",
+                 max_faults_per_node: Optional[int] = None):
+        if bad_mode not in ("oscillate", "die"):
+            raise ValueError(f"unknown bad_mode {bad_mode!r}")
+        self.mttf = mttf
+        self.mttr = mttr
+        self.stabilize_at = stabilize_at
+        self.rng = random.Random(seed)
+        self.bad_nodes = frozenset(bad_nodes)
+        self.bad_mode = bad_mode
+        self.max_faults_per_node = max_faults_per_node
+        self._fault_counts: Dict[int, int] = {}
+
+    def install(self, sim: Simulator, nodes: Dict[int, Node]) -> None:
+        """Arm a crash timer for every node."""
+        for node in nodes.values():
+            self._arm_crash(sim, node)
+
+    # -- internals ----------------------------------------------------------
+
+    def _budget_left(self, node: Node) -> bool:
+        if self.max_faults_per_node is None:
+            return True
+        return self._fault_counts.get(node.node_id, 0) < self.max_faults_per_node
+
+    def _arm_crash(self, sim: Simulator, node: Node) -> None:
+        delay = self.rng.expovariate(1.0 / self.mttf)
+        sim.schedule(delay, self._crash, sim, node)
+
+    def _crash(self, sim: Simulator, node: Node) -> None:
+        is_bad = node.node_id in self.bad_nodes
+        if not is_bad and sim.now >= self.stabilize_at:
+            return  # good nodes stop crashing after stabilisation
+        if not self._budget_left(node):
+            return
+        if not node.up:
+            return
+        node.crash()
+        self._fault_counts[node.node_id] = \
+            self._fault_counts.get(node.node_id, 0) + 1
+        if is_bad and self.bad_mode == "die":
+            return  # permanently down
+        delay = self.rng.expovariate(1.0 / self.mttr)
+        sim.schedule(delay, self._recover, sim, node)
+
+    def _recover(self, sim: Simulator, node: Node) -> None:
+        if node.up:
+            return
+        node.recover()
+        self._arm_crash(sim, node)

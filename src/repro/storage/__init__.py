@@ -1,0 +1,12 @@
+"""Stable storage: the paper's ``log`` / ``retrieve`` primitives.
+
+See :mod:`repro.storage.stable` for the abstract interface and operation
+accounting, :mod:`repro.storage.memory` for the simulation backend and
+:mod:`repro.storage.file` for the durable file backend.
+"""
+
+from repro.storage.file import FileStorage
+from repro.storage.memory import MemoryStorage
+from repro.storage.stable import StableStorage, StorageMetrics
+
+__all__ = ["FileStorage", "MemoryStorage", "StableStorage", "StorageMetrics"]

@@ -1,0 +1,92 @@
+"""Tagged-JSON codec for durable values.
+
+The file-backed stable storage must serialise the values protocols log:
+primitives, tuples, sets/frozensets, dicts with non-string keys, and
+protocol payload objects.  Plain JSON cannot round-trip those, so this
+codec wraps non-JSON-native values in ``{"__t": tag, "v": ...}`` envelopes.
+
+Payload classes opt in by calling :func:`register` with a ``to_plain`` /
+``from_plain`` pair; the codec stays ignorant of protocol types.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import StorageError
+
+__all__ = ["encode", "decode", "register"]
+
+_TO_PLAIN: Dict[type, Tuple[str, Callable[[Any], Any]]] = {}
+_FROM_PLAIN: Dict[str, Callable[[Any], Any]] = {}
+
+
+def register(cls: type, tag: str,
+             to_plain: Callable[[Any], Any],
+             from_plain: Callable[[Any], Any]) -> None:
+    """Teach the codec to round-trip instances of ``cls`` under ``tag``."""
+    if tag in _FROM_PLAIN:
+        raise StorageError(f"codec tag {tag!r} already registered")
+    _TO_PLAIN[cls] = (tag, to_plain)
+    _FROM_PLAIN[tag] = from_plain
+
+
+def _to_jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, tuple):
+        return {"__t": "tuple", "v": [_to_jsonable(item) for item in value]}
+    if isinstance(value, set):
+        return {"__t": "set", "v": [_to_jsonable(item) for item in value]}
+    if isinstance(value, frozenset):
+        return {"__t": "frozenset",
+                "v": [_to_jsonable(item) for item in value]}
+    if isinstance(value, dict):
+        if all(isinstance(key, str) and key != "__t" for key in value):
+            return {key: _to_jsonable(item) for key, item in value.items()}
+        return {"__t": "dict",
+                "v": [[_to_jsonable(key), _to_jsonable(item)]
+                      for key, item in value.items()]}
+    registered = _TO_PLAIN.get(type(value))
+    if registered is not None:
+        tag, to_plain = registered
+        return {"__t": tag, "v": _to_jsonable(to_plain(value))}
+    raise StorageError(
+        f"cannot serialise {type(value).__name__}; register() a codec")
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_from_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        tag = value.get("__t")
+        if tag is None:
+            return {key: _from_jsonable(item) for key, item in value.items()}
+        payload = value["v"]
+        if tag == "tuple":
+            return tuple(_from_jsonable(item) for item in payload)
+        if tag == "set":
+            return {_from_jsonable(item) for item in payload}
+        if tag == "frozenset":
+            return frozenset(_from_jsonable(item) for item in payload)
+        if tag == "dict":
+            return {_from_jsonable(key): _from_jsonable(item)
+                    for key, item in payload}
+        loader = _FROM_PLAIN.get(tag)
+        if loader is None:
+            raise StorageError(f"unknown codec tag {tag!r}")
+        return loader(_from_jsonable(payload))
+    return value
+
+
+def encode(value: Any) -> str:
+    """Serialise ``value`` to a JSON string (deterministic key order)."""
+    return json.dumps(_to_jsonable(value), sort_keys=True)
+
+
+def decode(text: str) -> Any:
+    """Inverse of :func:`encode`."""
+    return _from_jsonable(json.loads(text))

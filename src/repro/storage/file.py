@@ -1,0 +1,74 @@
+"""File-backed stable storage.
+
+One JSON file per key under a node-specific directory, written with the
+classic write-to-temp-then-rename pattern so a crash mid-write never
+corrupts a previously logged value (rename is atomic on POSIX).
+
+This backend exists to demonstrate that the protocols run against a real
+disk, and to test durability across *process* restarts; the simulation
+experiments use :class:`~repro.storage.memory.MemoryStorage` for speed.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Any, Iterable
+
+from repro.storage import codec
+from repro.storage.stable import StableStorage
+
+__all__ = ["FileStorage"]
+
+
+def _escape(path: str) -> str:
+    """Map a storage key to a safe flat filename."""
+    return path.replace("%", "%25").replace("/", "%2F") + ".json"
+
+
+def _unescape(filename: str) -> str:
+    stem = filename[:-len(".json")]
+    return stem.replace("%2F", "/").replace("%25", "%")
+
+
+class FileStorage(StableStorage):
+    """Directory-of-JSON-files stable storage with atomic writes."""
+
+    def __init__(self, directory: str):
+        super().__init__()
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _file_for(self, path: str) -> str:
+        return os.path.join(self.directory, _escape(path))
+
+    def _write(self, path: str, value: Any) -> None:
+        text = codec.encode(value)
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self._file_for(path))
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+
+    def _read(self, path: str, default: Any) -> Any:
+        try:
+            with open(self._file_for(path), encoding="utf-8") as handle:
+                return codec.decode(handle.read())
+        except FileNotFoundError:
+            return default
+
+    def _delete_raw(self, path: str) -> None:
+        try:
+            os.unlink(self._file_for(path))
+        except FileNotFoundError:
+            pass
+
+    def _keys(self) -> Iterable[str]:
+        for filename in os.listdir(self.directory):
+            if filename.endswith(".json"):
+                yield _unescape(filename)

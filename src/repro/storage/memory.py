@@ -1,0 +1,44 @@
+"""In-memory crash-surviving stable storage (simulation backend).
+
+The simulator owns the storage object; a node crash discards the node's
+volatile state but never touches this store, which models a disk that
+survives process crashes (Section 2.1).
+
+Values are defensively deep-copied on write and read so protocol code
+cannot accidentally mutate "durable" state in place — the closest
+in-memory analogue of serialisation through a real disk.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterable
+
+from repro.storage.stable import StableStorage
+
+__all__ = ["MemoryStorage"]
+
+
+class MemoryStorage(StableStorage):
+    """Dictionary-backed stable storage with copy-on-write/read semantics."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: Dict[str, Any] = {}
+
+    def _write(self, path: str, value: Any) -> None:
+        self._data[path] = copy.deepcopy(value)
+
+    def _read(self, path: str, default: Any) -> Any:
+        if path not in self._data:
+            return default
+        return copy.deepcopy(self._data[path])
+
+    def _delete_raw(self, path: str) -> None:
+        self._data.pop(path, None)
+
+    def _keys(self) -> Iterable[str]:
+        return self._data.keys()
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,113 @@
+"""Per-node transport endpoint (Section 3.1 interface).
+
+The :class:`Endpoint` component gives protocol layers on a node the
+paper's transport primitives — ``send``, ``multisend`` and handler-based
+reception — while hiding the shared :class:`~repro.transport.network.Network`.
+
+Reception is handler-based rather than a blocking ``receive`` loop: each
+protocol layer registers a handler per message type, and handlers run
+atomically (the paper's atomic reception statements).  A blocking
+``receive`` can be layered on top with :meth:`Endpoint.subscribe_queue`,
+which is what the transport unit tests exercise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Optional, Tuple
+
+from repro.errors import ProcessDown
+from repro.sim.kernel import Signal
+from repro.sim.process import NodeComponent
+from repro.transport.message import WireMessage
+from repro.transport.network import Network
+
+__all__ = ["Endpoint", "ReceiveQueue"]
+
+
+class ReceiveQueue:
+    """A blocking input buffer: the paper's ``receive`` primitive.
+
+    Messages deposited while the owning node is up accumulate in volatile
+    memory; :meth:`receive` blocks (cooperatively) until one is available.
+    The buffer is volatile — the endpoint drops it on crash.
+    """
+
+    def __init__(self, endpoint: "Endpoint"):
+        self._endpoint = endpoint
+        self._items: Deque[Tuple[WireMessage, int]] = deque()
+        self._signal: Signal = endpoint.node.sim.signal("receive-queue")
+
+    def deposit(self, message: WireMessage, sender: int) -> None:
+        """Called by the endpoint on message arrival."""
+        self._items.append((message, sender))
+        self._signal.notify()
+
+    def receive(self) -> Generator[Any, Any, Tuple[WireMessage, int]]:
+        """Cooperative-blocking receive; yields until a message arrives."""
+        while not self._items:
+            yield self._signal.wait()
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Endpoint(NodeComponent):
+    """The node-side face of the transport."""
+
+    name = "endpoint"
+
+    def __init__(self, network: Network):
+        super().__init__()
+        self.network = network
+        self._queues: dict = {}
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, dst: int, message: WireMessage) -> None:
+        """Unreliable point-to-point send (no-op when the node is down)."""
+        if self.node is None or not self.node.up:
+            raise ProcessDown("cannot send from a down node")
+        self.network.send(self.node.node_id, dst, message)
+
+    def multisend(self, message: WireMessage) -> None:
+        """Unreliable broadcast to all processes, including self."""
+        if self.node is None or not self.node.up:
+            raise ProcessDown("cannot multisend from a down node")
+        self.network.multisend(self.node.node_id, message)
+
+    # -- receiving ---------------------------------------------------------
+
+    def register(self, msg_type: str,
+                 handler: Callable[[Any, int], None]) -> None:
+        """Route messages of ``msg_type`` to ``handler(message, sender)``.
+
+        Registration is volatile: it disappears at a crash and must be
+        redone in the component's ``on_start`` (which re-runs on recovery).
+        """
+        assert self.node is not None
+        self.node.register_handler(msg_type, handler)
+
+    def subscribe_queue(self, msg_type: str) -> ReceiveQueue:
+        """Blocking-receive alternative to handlers for ``msg_type``."""
+        assert self.node is not None
+        queue = ReceiveQueue(self)
+        self._queues[msg_type] = queue
+        self.node.register_handler(msg_type, queue.deposit)
+        return queue
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Input buffers are volatile memory: lost on crash."""
+        self._queues.clear()
+
+    @property
+    def node_id(self) -> int:
+        assert self.node is not None
+        return self.node.node_id
+
+    def peers(self) -> Tuple[int, ...]:
+        """All node ids on the network (including this node)."""
+        return self.network.node_ids()

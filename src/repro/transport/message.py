@@ -1,0 +1,44 @@
+"""Base class for wire messages.
+
+A wire message is anything the transport carries between nodes.  The
+transport only requires two things of a message: a ``type`` tag used for
+handler dispatch on the receiving node, and an ``estimated_size`` used for
+byte accounting.  Concrete protocol messages subclass :class:`WireMessage`
+and declare their payload fields.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.sizing import estimate_size
+
+__all__ = ["WireMessage"]
+
+
+class WireMessage:
+    """Immutable-by-convention wire message with a dispatch tag.
+
+    Subclasses set the class attribute ``type`` and store payload fields
+    as instance attributes listed in ``fields`` (used for size accounting
+    and ``repr``).
+    """
+
+    type = "message"
+    fields: Tuple[str, ...] = ()
+
+    def estimated_size(self) -> int:
+        """Estimated serialised size: tag plus payload fields."""
+        total = 2 + len(self.type)
+        for name in self.fields:
+            total += estimate_size(getattr(self, name))
+        return total
+
+    def payload(self) -> Tuple[Any, ...]:
+        """The payload fields as a tuple (handy for tests)."""
+        return tuple(getattr(self, name) for name in self.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self.fields)
+        return f"{type(self).__name__}({parts})"

@@ -1,0 +1,194 @@
+"""Simulated network: unreliable, fair, asynchronous channels.
+
+Models the transport assumptions of Section 3.1:
+
+* a bidirectional channel between every pair of processes;
+* channels are **not** FIFO (each message draws an independent delay);
+* channels may **lose** messages (probabilistically) and **duplicate**
+  them;
+* transfer delays are finite but arbitrary (bounded random draws);
+* channels are **fair**: a message sent infinitely often is received
+  infinitely often — guaranteed here because per-message loss is an
+  independent Bernoulli draw with probability < 1 (outside explicit
+  partitions, which scenarios must eventually heal for fairness to hold).
+
+Messages addressed to a node that is *down* at delivery time are lost,
+exactly as in the paper's model (Section 2.1).  Self-addressed messages
+(``multisend`` includes the sender) are delivered reliably with zero
+delay: a process's loopback does not cross the network.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Node
+from repro.sizing import estimate_size
+from repro.transport.message import WireMessage
+
+__all__ = ["NetworkConfig", "Network", "NetworkMetrics"]
+
+
+class NetworkConfig:
+    """Tunables of the simulated network.
+
+    Parameters
+    ----------
+    min_delay, max_delay:
+        Bounds of the uniform per-message delay draw (virtual time).
+    loss_rate:
+        Independent probability that a message is dropped in transit.
+        Must be < 1 to preserve the fair-loss property.
+    duplicate_rate:
+        Probability that a delivered message is delivered twice (the
+        duplicate draws its own delay).
+    delay_fn:
+        Optional override: ``delay_fn(rng) -> float`` replaces the uniform
+        draw (e.g. heavy-tailed delays).
+    """
+
+    def __init__(self, min_delay: float = 0.01, max_delay: float = 0.1,
+                 loss_rate: float = 0.0, duplicate_rate: float = 0.0,
+                 delay_fn: Optional[Callable[[random.Random], float]] = None):
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(
+                f"loss_rate {loss_rate} breaks the fair-loss assumption")
+        if not 0.0 <= duplicate_rate <= 1.0:
+            raise SimulationError(f"bad duplicate_rate {duplicate_rate}")
+        if min_delay < 0 or max_delay < min_delay:
+            raise SimulationError(
+                f"bad delay bounds [{min_delay}, {max_delay}]")
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.loss_rate = loss_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_fn = delay_fn
+
+
+class NetworkMetrics:
+    """Traffic counters, per run."""
+
+    __slots__ = ("sent", "delivered", "lost", "dropped_down", "duplicated",
+                 "bytes_sent", "by_type")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+        self.dropped_down = 0
+        self.duplicated = 0
+        self.bytes_sent = 0
+        self.by_type: Dict[str, int] = {}
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy, for metric collection."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "dropped_down": self.dropped_down,
+            "duplicated": self.duplicated,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class Network:
+    """The shared medium connecting every node of a simulation."""
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 config: Optional[NetworkConfig] = None):
+        self.sim = sim
+        self.rng = rng
+        self.config = config or NetworkConfig()
+        self.nodes: Dict[int, Node] = {}
+        self.metrics = NetworkMetrics()
+        self._partitions: Set[FrozenSet[int]] = set()
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, node: Node) -> None:
+        """Attach a node to the medium."""
+        if node.node_id in self.nodes:
+            raise SimulationError(f"node {node.node_id} already registered")
+        self.nodes[node.node_id] = node
+
+    def node_ids(self) -> Tuple[int, ...]:
+        """All registered node ids, sorted."""
+        return tuple(sorted(self.nodes))
+
+    # -- partitions -------------------------------------------------------------
+
+    def partition(self, a: int, b: int) -> None:
+        """Sever the link between ``a`` and ``b`` (both directions)."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: int, b: int) -> None:
+        """Restore the link between ``a`` and ``b``."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        """Restore every severed link."""
+        self._partitions.clear()
+
+    def is_partitioned(self, a: int, b: int) -> bool:
+        """True if the a—b link is currently severed."""
+        return frozenset((a, b)) in self._partitions
+
+    # -- sending ------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, message: WireMessage) -> None:
+        """Inject one message from ``src`` to ``dst``.
+
+        Loss, duplication and delay are decided at send time with
+        independent draws; a message addressed to a down node is silently
+        dropped at delivery time.
+        """
+        if dst not in self.nodes:
+            raise SimulationError(f"unknown destination {dst}")
+        self.metrics.sent += 1
+        self.metrics.bytes_sent += estimate_size(message)
+        self.metrics.by_type[message.type] = \
+            self.metrics.by_type.get(message.type, 0) + 1
+
+        if src == dst:
+            # Loopback: reliable, immediate (within the same virtual time).
+            self.sim.call_soon(self._deliver, src, dst, message)
+            return
+        if self.is_partitioned(src, dst):
+            self.metrics.lost += 1
+            return
+        if self.config.loss_rate and self.rng.random() < self.config.loss_rate:
+            self.metrics.lost += 1
+            return
+        self.sim.schedule(self._draw_delay(), self._deliver, src, dst, message)
+        if (self.config.duplicate_rate
+                and self.rng.random() < self.config.duplicate_rate):
+            self.metrics.duplicated += 1
+            self.sim.schedule(self._draw_delay(), self._deliver,
+                              src, dst, message)
+
+    def multisend(self, src: int, message: WireMessage) -> None:
+        """The paper's ``multisend`` macro: send to every process,
+        including the sender itself (Section 3.1, footnote 2)."""
+        for dst in self.nodes:
+            self.send(src, dst, message)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _draw_delay(self) -> float:
+        if self.config.delay_fn is not None:
+            delay = self.config.delay_fn(self.rng)
+            if delay < 0:
+                raise SimulationError("delay_fn returned a negative delay")
+            return delay
+        return self.rng.uniform(self.config.min_delay, self.config.max_delay)
+
+    def _deliver(self, src: int, dst: int, message: WireMessage) -> None:
+        node = self.nodes[dst]
+        if node.deliver(message, src):
+            self.metrics.delivered += 1
+        else:
+            self.metrics.dropped_down += 1

@@ -1,0 +1,13 @@
+"""Workload generators for scenario runs and benchmarks."""
+
+from repro.workloads.generators import (BurstyWorkload, ClosedLoopWorkload,
+                                        PoissonWorkload, ScheduledWorkload,
+                                        SkewedWorkload)
+
+__all__ = [
+    "BurstyWorkload",
+    "ClosedLoopWorkload",
+    "PoissonWorkload",
+    "ScheduledWorkload",
+    "SkewedWorkload",
+]

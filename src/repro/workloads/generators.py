@@ -1,0 +1,201 @@
+"""Broadcast workload generators.
+
+A workload schedules ``A-broadcast`` submissions against a cluster.  All
+generators are seeded and therefore deterministic; submissions aimed at a
+node that happens to be down are silently skipped (a down process cannot
+invoke ``A-broadcast``), which the paper's model permits.
+
+* :class:`PoissonWorkload` — independent Poisson arrivals per node
+  (open-loop offered load).
+* :class:`BurstyWorkload` — on/off (burst/silence) arrival pattern.
+* :class:`SkewedWorkload` — Zipf-like weights: a few hot senders.
+* :class:`ClosedLoopWorkload` — each node keeps a fixed window of
+  outstanding blocking broadcasts (measures sustainable throughput).
+* :class:`ScheduledWorkload` — an explicit (time, node, payload) list.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "PoissonWorkload",
+    "BurstyWorkload",
+    "SkewedWorkload",
+    "ClosedLoopWorkload",
+    "ScheduledWorkload",
+]
+
+
+def _default_payload(node_id: int, index: int) -> Any:
+    return ("msg", node_id, index)
+
+
+class _SubmissionWorkload:
+    """Shared machinery: pre-draw (time, node) pairs, install as timers."""
+
+    def __init__(self, payload_fn: Optional[Callable[[int, int], Any]] = None):
+        self.payload_fn = payload_fn or _default_payload
+        self.submitted = 0
+
+    def arrivals(self, cluster) -> List[Tuple[float, int]]:
+        """Return the (time, node_id) submission plan."""
+        raise NotImplementedError
+
+    def install(self, cluster) -> int:
+        """Schedule every submission on the cluster; returns the count."""
+        plan = sorted(self.arrivals(cluster))
+        counters = {node_id: 0 for node_id in cluster.node_ids()}
+        for when, node_id in plan:
+            counters[node_id] += 1
+            payload = self.payload_fn(node_id, counters[node_id])
+            cluster.sim.schedule(when, self._submit, cluster, node_id,
+                                 payload)
+        return len(plan)
+
+    def _submit(self, cluster, node_id: int, payload: Any) -> None:
+        if not cluster.nodes[node_id].up:
+            return  # a down process cannot invoke A-broadcast
+        cluster.submit(node_id, payload)
+        self.submitted += 1
+
+
+class PoissonWorkload(_SubmissionWorkload):
+    """Independent Poisson arrivals at every node."""
+
+    def __init__(self, rate_per_node: float, duration: float,
+                 start: float = 0.5, seed: int = 0,
+                 payload_fn: Optional[Callable[[int, int], Any]] = None):
+        super().__init__(payload_fn)
+        self.rate_per_node = rate_per_node
+        self.duration = duration
+        self.start = start
+        self.seed = seed
+
+    def arrivals(self, cluster) -> List[Tuple[float, int]]:
+        rng = random.Random(self.seed)
+        plan: List[Tuple[float, int]] = []
+        for node_id in cluster.node_ids():
+            t = self.start
+            while True:
+                t += rng.expovariate(self.rate_per_node)
+                if t >= self.start + self.duration:
+                    break
+                plan.append((t, node_id))
+        return plan
+
+
+class BurstyWorkload(_SubmissionWorkload):
+    """On/off arrivals: bursts of back-to-back messages, then silence."""
+
+    def __init__(self, burst_size: int, burst_spacing: float,
+                 bursts: int, intra_gap: float = 0.01,
+                 start: float = 0.5, seed: int = 0,
+                 payload_fn: Optional[Callable[[int, int], Any]] = None):
+        super().__init__(payload_fn)
+        self.burst_size = burst_size
+        self.burst_spacing = burst_spacing
+        self.bursts = bursts
+        self.intra_gap = intra_gap
+        self.start = start
+        self.seed = seed
+
+    def arrivals(self, cluster) -> List[Tuple[float, int]]:
+        rng = random.Random(self.seed)
+        node_ids = cluster.node_ids()
+        plan: List[Tuple[float, int]] = []
+        t = self.start
+        for _ in range(self.bursts):
+            sender = rng.choice(node_ids)
+            for i in range(self.burst_size):
+                plan.append((t + i * self.intra_gap, sender))
+            t += self.burst_spacing
+        return plan
+
+
+class SkewedWorkload(_SubmissionWorkload):
+    """Zipf-weighted senders: node ``i`` sends with weight ``1/(i+1)^s``."""
+
+    def __init__(self, total_messages: int, duration: float,
+                 skew: float = 1.0, start: float = 0.5, seed: int = 0,
+                 payload_fn: Optional[Callable[[int, int], Any]] = None):
+        super().__init__(payload_fn)
+        self.total_messages = total_messages
+        self.duration = duration
+        self.skew = skew
+        self.start = start
+        self.seed = seed
+
+    def arrivals(self, cluster) -> List[Tuple[float, int]]:
+        rng = random.Random(self.seed)
+        node_ids = cluster.node_ids()
+        weights = [1.0 / (i + 1) ** self.skew for i in range(len(node_ids))]
+        plan: List[Tuple[float, int]] = []
+        for _ in range(self.total_messages):
+            when = self.start + rng.random() * self.duration
+            sender = rng.choices(node_ids, weights=weights)[0]
+            plan.append((when, sender))
+        return plan
+
+
+class ScheduledWorkload(_SubmissionWorkload):
+    """Explicit submission plan: ``[(time, node_id, payload), ...]``."""
+
+    def __init__(self, plan: Sequence[Tuple[float, int, Any]]):
+        super().__init__()
+        self.plan = list(plan)
+
+    def arrivals(self, cluster) -> List[Tuple[float, int]]:  # pragma: no cover
+        raise NotImplementedError("ScheduledWorkload installs directly")
+
+    def install(self, cluster) -> int:
+        for when, node_id, payload in self.plan:
+            cluster.sim.schedule(when, self._submit, cluster, node_id,
+                                 payload)
+        return len(self.plan)
+
+
+class ClosedLoopWorkload:
+    """Fixed number of outstanding blocking broadcasts per node.
+
+    Each node runs ``window`` client tasks; every task issues a blocking
+    ``A-broadcast`` and immediately issues the next one when it returns.
+    This measures *sustainable* ordered throughput, the metric batching
+    (Section 5.4) is supposed to improve.  Client tasks die with the node
+    on a crash and are restarted on recovery by re-installation (closed
+    loops are used in failure-free benches).
+    """
+
+    def __init__(self, window: int = 4, start: float = 0.5,
+                 messages_per_client: Optional[int] = None,
+                 payload_fn: Optional[Callable[[int, int], Any]] = None):
+        self.window = window
+        self.start = start
+        self.messages_per_client = messages_per_client
+        self.payload_fn = payload_fn or _default_payload
+        self.submitted = 0
+
+    def install(self, cluster) -> int:
+        for node_id in cluster.node_ids():
+            for client in range(self.window):
+                cluster.sim.schedule(self.start, self._start_client,
+                                     cluster, node_id, client)
+        return 0
+
+    def _start_client(self, cluster, node_id: int, client: int) -> None:
+        node = cluster.nodes[node_id]
+        if not node.up:
+            return
+        node.spawn(self._client_loop(cluster, node_id, client),
+                   f"client-{client}")
+
+    def _client_loop(self, cluster, node_id: int, client: int):
+        rsm = cluster.rsms[node_id]
+        index = 0
+        while (self.messages_per_client is None
+               or index < self.messages_per_client):
+            index += 1
+            payload = self.payload_fn(node_id, client * 1_000_000 + index)
+            yield from rsm.broadcast(payload)
+            self.submitted += 1

@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.paxos import PaxosConsensus
+from repro.fdetect.heartbeat import HeartbeatDetector
+from repro.fdetect.omega import OmegaOracle
+from repro.sim.kernel import Simulator
+from repro.sim.process import Node
+from repro.sim.rng import SeedSequence
+from repro.storage.memory import MemoryStorage
+from repro.transport.endpoint import Endpoint
+from repro.transport.network import Network, NetworkConfig
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator()
+
+
+class MiniCluster:
+    """A hand-rolled small cluster for unit tests below the harness level.
+
+    Exposes the raw pieces (nodes, endpoints, detectors, consensuses) so
+    tests can poke at individual layers without the full harness.
+    """
+
+    def __init__(self, n: int = 3, seed: int = 0,
+                 network_config: NetworkConfig = None,
+                 with_consensus: bool = True,
+                 attempt_timeout: float = 1.0):
+        self.sim = Simulator()
+        self.seeds = SeedSequence(seed)
+        self.network = Network(self.sim, self.seeds.stream("net"),
+                               network_config or NetworkConfig())
+        self.nodes = {}
+        self.endpoints = {}
+        self.detectors = {}
+        self.omegas = {}
+        self.consensuses = {}
+        for i in range(n):
+            node = Node(self.sim, i, MemoryStorage())
+            endpoint = node.add_component(Endpoint(self.network))
+            self.endpoints[i] = endpoint
+            if with_consensus:
+                detector = node.add_component(HeartbeatDetector(endpoint))
+                omega = node.add_component(OmegaOracle(detector))
+                consensus = node.add_component(PaxosConsensus(
+                    endpoint, omega, attempt_timeout=attempt_timeout))
+                self.detectors[i] = detector
+                self.omegas[i] = omega
+                self.consensuses[i] = consensus
+            self.network.register(node)
+            self.nodes[i] = node
+
+    def start(self):
+        for node in self.nodes.values():
+            node.start()
+        return self
+
+    def run(self, until):
+        return self.sim.run(until=until)
+
+
+@pytest.fixture
+def mini_cluster():
+    """Factory for small raw clusters."""
+    return MiniCluster

@@ -1,0 +1,54 @@
+"""Property-based tests for multi-group multicast.
+
+Hypothesis generates the group topology (via overlap choice), the mix of
+single- and cross-group messages, and a crash schedule; every generated
+run must satisfy group agreement and pairwise total order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.multigroup import MultiGroupCluster
+from repro.transport.network import NetworkConfig
+
+RUNS = settings(max_examples=10, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@RUNS
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    cross_slots=st.lists(st.booleans(), min_size=4, max_size=10),
+    crash_bridge=st.booleans(),
+)
+def test_agreement_and_pairwise_order(seed, cross_slots, crash_bridge):
+    cluster = MultiGroupCluster(
+        {"g1": [0, 1, 2], "g2": [2, 3, 4]}, seed=seed,
+        network=NetworkConfig(loss_rate=0.03))
+    cluster.start()
+    for index, is_cross in enumerate(cross_slots):
+        when = 0.5 + 0.3 * index
+        if is_cross:
+            cluster.sim.schedule(when, cluster.multicast, 2,
+                                 f"x{index}", ["g1", "g2"])
+        else:
+            sender, group = ((0, "g1") if index % 2 == 0 else (3, "g2"))
+            cluster.sim.schedule(when, cluster.multicast, sender,
+                                 f"s{index}", [group])
+    if crash_bridge:
+        cluster.sim.schedule(1.5, cluster.nodes[2].crash)
+        cluster.sim.schedule(4.0, cluster.nodes[2].recover)
+    cluster.run(until=90.0)
+    cluster.check_group_agreement("g1")
+    cluster.check_group_agreement("g2")
+    cluster.check_pairwise_total_order()
+    # Cross-group messages submitted while the bridge was up appear in
+    # the same relative order in both groups.
+    seq_g1 = [p for _, p in cluster.layers[0].delivered_in("g1")
+              if p.startswith("x")]
+    seq_g2 = [p for _, p in cluster.layers[3].delivered_in("g2")
+              if p.startswith("x")]
+    shared = [p for p in seq_g1 if p in set(seq_g2)]
+    assert shared == [p for p in seq_g2 if p in set(seq_g1)]

@@ -1,0 +1,52 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "basic"
+        assert args.nodes == 3
+        assert args.faults == "none"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "raft"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for protocol in ("basic", "alternative", "eager", "ct",
+                         "sequencer"):
+            assert protocol in out
+
+    def test_run_basic(self, capsys):
+        assert main(["run", "--seed", "1", "--duration", "5",
+                     "--rate", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "properties verified" in out
+        assert "yes" in out
+
+    def test_run_alternative_with_faults(self, capsys):
+        assert main(["run", "--protocol", "alternative", "--seed", "2",
+                     "--duration", "8", "--faults", "random",
+                     "--log-unordered"]) == 0
+        out = capsys.readouterr().out
+        assert "crashes survived" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--seed", "3", "--duration", "5",
+                     "--rate", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sequencer" in out and "basic" in out

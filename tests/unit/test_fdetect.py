@@ -1,0 +1,110 @@
+"""Unit tests for the heartbeat failure detector and the Ω oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fdetect.heartbeat import HeartbeatDetector
+from repro.fdetect.omega import OmegaOracle
+
+
+class TestHeartbeatDetector:
+    def test_no_suspicions_in_stable_run(self, mini_cluster):
+        cluster = mini_cluster(n=3).start()
+        cluster.run(until=20.0)
+        for detector in cluster.detectors.values():
+            assert detector.suspects() == set()
+
+    def test_completeness_crashed_node_suspected(self, mini_cluster):
+        cluster = mini_cluster(n=3).start()
+        cluster.run(until=5.0)
+        cluster.nodes[2].crash()
+        cluster.run(until=15.0)
+        assert 2 in cluster.detectors[0].suspects()
+        assert 2 in cluster.detectors[1].suspects()
+
+    def test_self_never_suspected(self, mini_cluster):
+        cluster = mini_cluster(n=3).start()
+        cluster.run(until=15.0)
+        for node_id, detector in cluster.detectors.items():
+            assert node_id not in detector.suspects()
+
+    def test_recovered_node_rehabilitated(self, mini_cluster):
+        cluster = mini_cluster(n=3).start()
+        cluster.run(until=5.0)
+        cluster.nodes[2].crash()
+        cluster.run(until=15.0)
+        cluster.nodes[2].recover()
+        cluster.run(until=25.0)
+        assert 2 not in cluster.detectors[0].suspects()
+
+    def test_timeout_adapts_on_false_suspicion(self, mini_cluster):
+        cluster = mini_cluster(n=2).start()
+        cluster.run(until=5.0)
+        detector = cluster.detectors[0]
+        base = detector.timeout_for(1)
+        cluster.nodes[1].crash()
+        cluster.run(until=12.0)   # 0 suspects 1
+        cluster.nodes[1].recover()
+        cluster.run(until=20.0)   # heartbeat refutes the suspicion
+        assert detector.timeout_for(1) > base
+
+    def test_epoch_increases_across_recoveries(self, mini_cluster):
+        cluster = mini_cluster(n=2).start()
+        cluster.run(until=3.0)
+        first_epoch = cluster.detectors[0].epoch_of(1)
+        assert first_epoch >= 1
+        cluster.nodes[1].crash()
+        cluster.run(until=4.0)
+        cluster.nodes[1].recover()
+        cluster.run(until=8.0)
+        assert cluster.detectors[0].epoch_of(1) > first_epoch
+
+    def test_epoch_is_durable(self, mini_cluster):
+        cluster = mini_cluster(n=2).start()
+        cluster.run(until=2.0)
+        epoch_before = cluster.detectors[1].epoch
+        cluster.nodes[1].crash()
+        cluster.nodes[1].recover()
+        assert cluster.detectors[1].epoch == epoch_before + 1
+
+
+class TestOmega:
+    def test_stable_run_elects_lowest_id(self, mini_cluster):
+        cluster = mini_cluster(n=3).start()
+        cluster.run(until=10.0)
+        assert all(cluster.omegas[i].leader() == 0 for i in range(3))
+        assert cluster.omegas[0].is_leader()
+        assert not cluster.omegas[1].is_leader()
+
+    def test_leader_crash_elects_next(self, mini_cluster):
+        cluster = mini_cluster(n=3).start()
+        cluster.run(until=5.0)
+        cluster.nodes[0].crash()
+        cluster.run(until=20.0)
+        assert cluster.omegas[1].leader() == 1
+        assert cluster.omegas[2].leader() == 1
+
+    def test_leader_recovery_restores_lowest(self, mini_cluster):
+        cluster = mini_cluster(n=3).start()
+        cluster.run(until=5.0)
+        cluster.nodes[0].crash()
+        cluster.run(until=20.0)
+        cluster.nodes[0].recover()
+        cluster.run(until=40.0)
+        assert all(cluster.omegas[i].leader() == 0 for i in range(3))
+
+    def test_change_signal_fires(self, mini_cluster):
+        cluster = mini_cluster(n=3).start()
+        cluster.run(until=5.0)
+        changes = []
+
+        def watcher():
+            while True:
+                value = yield cluster.omegas[1].changed.wait()
+                changes.append(value)
+
+        cluster.nodes[1].spawn(watcher(), "watch")
+        cluster.nodes[0].crash()
+        cluster.run(until=20.0)
+        assert 1 in changes

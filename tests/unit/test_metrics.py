@@ -1,0 +1,132 @@
+"""Unit tests for metric collection and statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ids import MessageId
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.stats import mean, percentile, stdev, summarize
+
+
+class TestStats:
+    def test_mean_empty_and_values(self):
+        assert mean([]) == 0.0
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_stdev(self):
+        assert stdev([]) == 0.0
+        assert stdev([5]) == 0.0
+        assert stdev([2, 2, 2]) == 0.0
+        assert stdev([0, 10]) == 5.0
+
+    def test_percentile_bounds(self):
+        values = list(range(101))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 100
+        assert percentile(values, 50) == 50
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 50) == 5.0
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_percentile_edge_cases(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([7], 99) == 7
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_summarize_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["p50"] == 2.0
+
+
+class TestCollector:
+    def test_latency_from_broadcast_to_first_delivery(self):
+        collector = MetricsCollector()
+        mid = MessageId(0, 1, 1)
+        collector.note_broadcast(mid, "p", time=1.0)
+        collector.note_delivery(0, mid, time=3.0)
+        collector.note_delivery(1, mid, time=4.0)  # later copies ignored
+        assert collector.delivery_latencies == [2.0]
+
+    def test_duplicate_broadcast_note_ignored(self):
+        collector = MetricsCollector()
+        mid = MessageId(0, 1, 1)
+        collector.note_broadcast(mid, "p", time=1.0)
+        collector.note_broadcast(mid, "p", time=9.0)
+        assert collector.broadcast_times[mid] == 1.0
+
+    def test_delivered_ids_per_incarnation(self):
+        collector = MetricsCollector()
+        a, b = MessageId(0, 1, 1), MessageId(0, 1, 2)
+        collector.note_delivery(0, a, 1.0, incarnation=1)
+        collector.note_delivery(0, b, 2.0, incarnation=1)
+        collector.note_delivery(0, a, 3.0, incarnation=2)  # replay
+        assert collector.delivered_ids(0, 1) == [a, b]
+        assert collector.delivered_ids(0, 2) == [a]
+        assert collector.delivered_ids(0) == [a, b, a]
+        assert collector.incarnations_of(0) == [1, 2]
+
+    def test_decision_archive_and_conflicts(self):
+        collector = MetricsCollector()
+        collector.note_decision(0, frozenset({"a"}))
+        collector.note_decision(0, frozenset({"a"}))
+        assert collector.decision_conflicts == []
+        collector.note_decision(0, frozenset({"b"}))
+        assert len(collector.decision_conflicts) == 1
+
+
+def make_metrics(collector=None, prefix_ops=None):
+    collector = collector or MetricsCollector()
+    return RunMetrics(
+        duration=10.0, collector=collector,
+        storage_by_node={0: {"log_ops": 5, "bytes_logged": 100,
+                             "retrievals": 0, "deletes": 0}},
+        storage_prefix_ops={0: prefix_ops or {"consensus": 4, "ab": 1}},
+        storage_prefix_bytes={0: {"consensus": 80, "ab": 20}},
+        storage_residency={0: 50},
+        network={"sent": 10, "delivered": 9, "lost": 1,
+                 "dropped_down": 0, "duplicated": 0, "bytes_sent": 500},
+        node_stats={0: {}},
+    )
+
+
+class TestRunMetrics:
+    def test_throughput(self):
+        collector = MetricsCollector()
+        for seq in range(4):
+            mid = MessageId(0, 1, seq + 1)
+            collector.note_broadcast(mid, None, 0.0)
+            collector.note_delivery(0, mid, 1.0)
+        metrics = make_metrics(collector)
+        assert metrics.messages_delivered == 4
+        assert metrics.throughput == pytest.approx(0.4)
+
+    def test_log_op_views(self):
+        metrics = make_metrics()
+        assert metrics.total_log_ops() == 5
+        assert metrics.total_bytes_logged() == 100
+        assert metrics.log_ops_by_prefix() == {"consensus": 4, "ab": 1}
+        assert metrics.bytes_by_prefix() == {"consensus": 80, "ab": 20}
+
+    def test_log_ops_per_delivery(self):
+        collector = MetricsCollector()
+        for seq in range(5):
+            mid = MessageId(0, 1, seq + 1)
+            collector.note_broadcast(mid, None, 0.0)
+            collector.note_delivery(0, mid, 1.0)
+        metrics = make_metrics(collector)
+        assert metrics.log_ops_per_delivery() == 1.0
+        assert metrics.log_ops_per_delivery({"ab"}) == pytest.approx(0.2)
+
+    def test_zero_division_guards(self):
+        metrics = make_metrics()
+        assert metrics.log_ops_per_delivery() == 0.0
+        assert make_metrics().throughput == 0.0

@@ -1,0 +1,115 @@
+"""Unit-level tests for the multi-group multicast internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multigroup import MultiGroupCluster
+from repro.multigroup.multicast import TimestampAnnounce
+from repro.transport.network import NetworkConfig
+
+
+def build(groups=None, seed=0):
+    cluster = MultiGroupCluster(
+        groups or {"g1": [0, 1, 2], "g2": [2, 3, 4]}, seed=seed,
+        network=NetworkConfig(loss_rate=0.0))
+    cluster.start()
+    return cluster
+
+
+class TestClockDeterminism:
+    def test_group_clocks_agree_across_members(self):
+        cluster = build(seed=1)
+        for j in range(6):
+            cluster.sim.schedule(0.5 + 0.2 * j, cluster.multicast,
+                                 2, f"x{j}", ["g1", "g2"])
+        cluster.run(until=40.0)
+        clocks_g1 = {cluster.layers[i].clock["g1"] for i in (0, 1, 2)}
+        clocks_g2 = {cluster.layers[i].clock["g2"] for i in (2, 3, 4)}
+        assert len(clocks_g1) == 1
+        assert len(clocks_g2) == 1
+
+    def test_final_timestamps_identical_everywhere(self):
+        cluster = build(seed=2)
+        mids = []
+        cluster.sim.schedule(
+            0.5, lambda: mids.append(
+                cluster.multicast(2, "x", ["g1", "g2"])))
+        cluster.run(until=30.0)
+        finals = set()
+        for node_id in range(5):
+            entry = cluster.layers[node_id].pending.get(mids[0])
+            if entry is not None and entry.final is not None:
+                finals.add(entry.final)
+        assert len(finals) == 1
+
+    def test_announce_cannot_poison_own_group_proposal(self):
+        """A forged announcement must not pre-assign a proposal for a
+        group the receiver belongs to (the clock-determinism guard)."""
+        cluster = build(seed=3)
+        cluster.run(until=0.5)
+        layer = cluster.layers[0]  # member of g1
+        forged = TimestampAnnounce([[[9, 1, 1], ["g1", "g2"], "evil",
+                                     {"g1": 42, "g2": 7}]])
+        layer._on_announce(forged, sender=3)
+        entry = layer.pending[(9, 1, 1)]
+        assert "g1" not in entry.proposed      # own group: AB order only
+        assert entry.proposed.get("g2") == 7   # foreign group: accepted
+
+
+class TestDeliveryRule:
+    def test_single_group_fast_path_needs_no_exchange(self):
+        cluster = build({"g": [0, 1, 2]}, seed=4)
+        cluster.sim.schedule(0.5, cluster.multicast, 0, "solo", ["g"])
+        cluster.run(until=15.0)
+        layer = cluster.layers[1]
+        assert [p for _, p in layer.delivered_in("g")] == ["solo"]
+        # No cross-group announcements were ever needed.
+        assert cluster.network.metrics.by_type.get(
+            TimestampAnnounce.type, 0) == 0
+
+    def test_holdback_blocks_until_finalized(self):
+        """A cross-group message proposed earlier must be delivered
+        before later single-group messages once its final arrives, if
+        its final timestamp is smaller."""
+        cluster = build(seed=5)
+        cluster.sim.schedule(0.5, cluster.multicast, 2, "cross",
+                             ["g1", "g2"])
+        cluster.sim.schedule(0.6, cluster.multicast, 0, "local", ["g1"])
+        cluster.run(until=30.0)
+        order = [p for _, p in cluster.layers[1].delivered_in("g1")]
+        assert set(order) == {"cross", "local"}
+        # Whatever the order, it is the same at every member.
+        for member in (0, 2):
+            assert [p for _, p in
+                    cluster.layers[member].delivered_in("g1")] == order
+
+    def test_mdelivered_count(self):
+        cluster = build(seed=6)
+        cluster.sim.schedule(0.5, cluster.multicast, 2, "x",
+                             ["g1", "g2"])
+        cluster.run(until=30.0)
+        # Node 2 is in both groups: it delivers the message twice (once
+        # per group), the pure members once each.
+        assert cluster.layers[2].mdelivered_count == 2
+        assert cluster.layers[0].mdelivered_count == 1
+
+
+class TestListener:
+    def test_listener_upcalls(self):
+        from repro.multigroup.multicast import MulticastListener
+
+        class Recorder(MulticastListener):
+            def __init__(self):
+                self.events = []
+
+            def on_mdeliver(self, group, mid, payload):
+                self.events.append((group, payload))
+
+        cluster = build(seed=7)
+        recorder = Recorder()
+        cluster.layers[2].add_listener(recorder)
+        cluster.sim.schedule(0.5, cluster.multicast, 2, "x",
+                             ["g1", "g2"])
+        cluster.run(until=30.0)
+        assert sorted(recorder.events) == [("g1", "x"), ("g2", "x")]

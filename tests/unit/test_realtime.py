@@ -1,0 +1,108 @@
+"""Unit tests for the soft real-time runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.sim.kernel import Simulator
+from repro.sim.realtime import RealTimeRunner
+from repro.workloads.generators import ScheduledWorkload
+
+
+class FakeClock:
+    """Deterministic wall clock for testing the pacing logic."""
+
+    def __init__(self):
+        self.now = 100.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, duration):
+        self.sleeps.append(duration)
+        self.now += duration
+
+
+class TestPacing:
+    def test_sleeps_until_each_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(3.0, fired.append, 3)
+        fake = FakeClock()
+        runner = RealTimeRunner(sim, time_scale=2.0,
+                                sleep=fake.sleep, clock=fake.clock)
+        runner.run()
+        assert fired == [1, 3]
+        # 2 wall-seconds per virtual unit: sleeps of 2.0 then 4.0.
+        assert fake.sleeps == pytest.approx([2.0, 4.0])
+        assert runner.slept_total == pytest.approx(6.0)
+
+    def test_no_sleep_when_behind_schedule(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        fake = FakeClock()
+
+        def slow_clock():
+            fake.now += 10.0  # wall time races ahead
+            return fake.now
+
+        runner = RealTimeRunner(sim, time_scale=1.0,
+                                sleep=fake.sleep, clock=slow_clock)
+        runner.run()
+        assert fake.sleeps == []
+
+    def test_until_boundary_respected(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        fake = FakeClock()
+        runner = RealTimeRunner(sim, time_scale=1.0,
+                                sleep=fake.sleep, clock=fake.clock)
+        assert runner.run(until=2.0) == 2.0
+        assert fired == [1]
+
+    def test_bad_time_scale_rejected(self):
+        with pytest.raises(ValueError):
+            RealTimeRunner(Simulator(), time_scale=0)
+
+
+class TestEquivalenceWithVirtualRun:
+    def test_same_seed_same_outcome_either_way(self):
+        """Pacing must not change behaviour: a real-time run (with a
+        fake clock, so the test is instant) matches a virtual run."""
+
+        def build():
+            cluster = Cluster(ClusterConfig(n=3, seed=80,
+                                            protocol="basic"))
+            cluster.start()
+            ScheduledWorkload(
+                [(0.5 + 0.2 * j, j % 3, ("m", j))
+                 for j in range(8)]).install(cluster)
+            return cluster
+
+        virtual = build()
+        virtual.run(until=15.0)
+
+        paced = build()
+        fake = FakeClock()
+        RealTimeRunner(paced.sim, time_scale=0.001, sleep=fake.sleep,
+                       clock=fake.clock).run(until=15.0)
+
+        virtual_seq = [m.id for m in
+                       virtual.abcasts[0].deliver_sequence()]
+        paced_seq = [m.id for m in paced.abcasts[0].deliver_sequence()]
+        assert virtual_seq == paced_seq
+        assert len(virtual_seq) == 8
+
+    def test_real_sleeping_smoke(self):
+        """A tiny genuinely-slept run (sub-50ms) completes."""
+        sim = Simulator()
+        fired = []
+        for index in range(3):
+            sim.schedule(0.001 * index, fired.append, index)
+        RealTimeRunner(sim, time_scale=0.01).run()
+        assert fired == [0, 1, 2]

@@ -1,0 +1,85 @@
+"""Unit tests for seeded RNG streams and the size model."""
+
+from __future__ import annotations
+
+from repro.sim.rng import SeedSequence
+from repro.sizing import estimate_size
+from repro.transport.message import WireMessage
+
+
+class TestSeedSequence:
+    def test_streams_are_memoised(self):
+        seeds = SeedSequence(1)
+        assert seeds.stream("a") is seeds.stream("a")
+
+    def test_streams_are_independent(self):
+        seeds = SeedSequence(1)
+        a_first = seeds.stream("a").random()
+        # Drawing from "b" must not perturb "a".
+        seeds2 = SeedSequence(1)
+        seeds2.stream("b").random()
+        assert seeds2.stream("a").random() == a_first
+
+    def test_same_seed_same_draws(self):
+        assert SeedSequence(5).stream("x").random() == \
+            SeedSequence(5).stream("x").random()
+
+    def test_different_names_differ(self):
+        seeds = SeedSequence(5)
+        assert seeds.stream("x").random() != seeds.stream("y").random()
+
+    def test_different_seeds_differ(self):
+        assert SeedSequence(1).stream("x").random() != \
+            SeedSequence(2).stream("x").random()
+
+    def test_child_sequences_derive(self):
+        child = SeedSequence(1).child("node-3")
+        assert child.stream("net").random() == \
+            SeedSequence(1).child("node-3").stream("net").random()
+
+
+class TestEstimateSize:
+    def test_primitives(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 1
+        assert estimate_size(0) >= 1
+        assert estimate_size(3.14) == 10
+        assert estimate_size("abc") == 5
+        assert estimate_size(b"abcd") == 6
+
+    def test_big_ints_cost_more(self):
+        assert estimate_size(2 ** 64) > estimate_size(7)
+
+    def test_containers_sum_members(self):
+        assert estimate_size([1, 2]) == 2 + 2 * estimate_size(1)
+        assert estimate_size((1, 2)) == estimate_size([1, 2])
+        assert estimate_size({1, 2}) == estimate_size([1, 2])
+
+    def test_dict_counts_keys_and_values(self):
+        d = {"k": "v"}
+        assert estimate_size(d) == 2 + estimate_size("k") + estimate_size("v")
+
+    def test_wire_message_uses_declared_fields(self):
+        class M(WireMessage):
+            type = "m"
+            fields = ("a", "b")
+
+            def __init__(self):
+                self.a = "xx"
+                self.b = 7
+                self.hidden = "not counted" * 100
+
+        small = M()
+        assert estimate_size(small) == 2 + 1 + \
+            estimate_size("xx") + estimate_size(7)
+
+    def test_unknown_object_falls_back_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "w" * 10
+
+        assert estimate_size(Weird()) == 12
+
+    def test_nested_structures(self):
+        nested = {"list": [1, (2, 3)], "set": frozenset({"a"})}
+        assert estimate_size(nested) > 0

@@ -1,0 +1,185 @@
+"""Unit tests for stable storage (memory and file backends, codec)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ids import MessageId
+from repro.core.messages import AppMessage
+from repro.errors import StorageError
+from repro.storage import codec
+from repro.storage.file import FileStorage
+from repro.storage.memory import MemoryStorage
+
+
+@pytest.fixture(params=["memory", "file"])
+def storage(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStorage()
+    return FileStorage(str(tmp_path / "store"))
+
+
+class TestLogRetrieve:
+    def test_round_trip(self, storage):
+        storage.log("a", {"x": 1})
+        assert storage.retrieve("a") == {"x": 1}
+
+    def test_missing_key_default(self, storage):
+        assert storage.retrieve("nope") is None
+        assert storage.retrieve("nope", 42) == 42
+
+    def test_structured_keys_normalise(self, storage):
+        storage.log(("paxos", 3, "acceptor"), (1, 2, None))
+        assert storage.retrieve("paxos/3/acceptor") == (1, 2, None)
+
+    def test_overwrite(self, storage):
+        storage.log("k", 1)
+        storage.log("k", 2)
+        assert storage.retrieve("k") == 2
+
+    def test_contains(self, storage):
+        assert not storage.contains("k")
+        storage.log("k", None)
+        assert storage.contains("k")
+
+    def test_values_are_isolated_from_caller(self, storage):
+        value = {"inner": [1, 2]}
+        storage.log("k", value)
+        value["inner"].append(3)  # mutate after logging
+        assert storage.retrieve("k") == {"inner": [1, 2]}
+        got = storage.retrieve("k")
+        got["inner"].append(99)  # mutate what we read back
+        assert storage.retrieve("k") == {"inner": [1, 2]}
+
+    def test_delete(self, storage):
+        storage.log("k", 1)
+        storage.delete("k")
+        assert not storage.contains("k")
+        storage.delete("k")  # idempotent
+
+    def test_keys_iteration_sorted(self, storage):
+        for key in ("b", "a/1", "a/2"):
+            storage.log(key, 0)
+        assert list(storage.keys()) == ["a/1", "a/2", "b"]
+        assert list(storage.keys("a")) == ["a/1", "a/2"]
+
+    def test_delete_prefix(self, storage):
+        for key in ("ab/1", "ab/2", "abc", "other"):
+            storage.log(key, 0)
+        deleted = storage.delete_prefix("ab")
+        # "abc" is NOT under the "ab" prefix (segment boundary matters).
+        assert deleted == 2
+        assert list(storage.keys()) == ["abc", "other"]
+
+
+class TestAppendLogs:
+    def test_append_accumulates(self, storage):
+        storage.append("log", 1)
+        storage.append("log", 2)
+        assert storage.retrieve_list("log") == [1, 2]
+
+    def test_retrieve_list_missing(self, storage):
+        assert storage.retrieve_list("nope") == []
+
+    def test_append_to_non_list_rejected(self, storage):
+        storage.log("k", "scalar")
+        with pytest.raises(StorageError):
+            storage.append("k", 1)
+
+    def test_retrieve_list_on_non_list_rejected(self, storage):
+        storage.log("k", "scalar")
+        with pytest.raises(StorageError):
+            storage.retrieve_list("k")
+
+
+class TestMetrics:
+    def test_log_ops_counted(self, storage):
+        storage.log("a", 1)
+        storage.append("b", 2)
+        assert storage.metrics.log_ops == 2
+
+    def test_bytes_by_value_size(self, storage):
+        storage.log("a", "x" * 100)
+        assert storage.metrics.bytes_logged >= 100
+
+    def test_append_charges_only_new_item(self, storage):
+        storage.log("full", list(range(100)))
+        full_bytes = storage.metrics.bytes_logged
+        storage.append("incr", 1)
+        incr_bytes = storage.metrics.bytes_logged - full_bytes
+        assert incr_bytes < full_bytes / 10
+
+    def test_prefix_attribution(self, storage):
+        storage.log(("consensus", 0, "proposal"), "v")
+        storage.log(("consensus", 1, "proposal"), "v")
+        storage.log(("ab", "ckpt"), "c")
+        assert storage.metrics.ops_by_prefix == {"consensus": 2, "ab": 1}
+
+    def test_retrievals_counted(self, storage):
+        storage.retrieve("a")
+        storage.retrieve("b")
+        assert storage.metrics.retrievals == 2
+
+    def test_residency_tracks_live_values_only(self, storage):
+        storage.log("big", "x" * 1000)
+        before = storage.total_bytes_stored()
+        storage.log("big", "y")  # overwrite shrinks residency
+        assert storage.total_bytes_stored() < before
+
+    def test_bad_key_type_rejected(self, storage):
+        with pytest.raises(StorageError):
+            storage.log(123, "v")
+
+
+class TestFileDurability:
+    def test_values_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "store")
+        first = FileStorage(path)
+        first.log(("consensus", 0, "proposal"), ("a", 1))
+        second = FileStorage(path)  # a brand-new process incarnation
+        assert second.retrieve(("consensus", 0, "proposal")) == ("a", 1)
+
+    def test_keys_with_slashes_escape_correctly(self, tmp_path):
+        storage = FileStorage(str(tmp_path / "store"))
+        storage.log(("a", "b%c", 1), "v")
+        assert list(storage.keys()) == ["a/b%c/1"]
+        assert FileStorage(str(tmp_path / "store")).retrieve("a/b%c/1") == "v"
+
+    def test_app_messages_round_trip_through_files(self, tmp_path):
+        storage = FileStorage(str(tmp_path / "store"))
+        batch = frozenset({AppMessage(MessageId(1, 1, 3), ("put", "k", 5)),
+                           AppMessage(MessageId(2, 1, 1), None)})
+        storage.log("proposal", batch)
+        got = FileStorage(str(tmp_path / "store")).retrieve("proposal")
+        assert got == batch
+        assert {m.payload for m in got} == {("put", "k", 5), None}
+
+
+class TestCodec:
+    def test_round_trip_primitives(self):
+        for value in (None, True, 0, -5, 2.5, "s", [1, [2]], (1, (2,)),
+                      {1, 2}, frozenset({3}), {"k": "v"}, {1: "nonstr"}):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_dict_with_reserved_key(self):
+        value = {"__t": "sneaky"}
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_unregistered_type_rejected(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(StorageError):
+            codec.encode(Mystery())
+
+    def test_duplicate_tag_rejected(self):
+        with pytest.raises(StorageError):
+            codec.register(int, "AppMessage", lambda x: x, lambda x: x)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(StorageError):
+            codec.decode('{"__t": "NoSuchTag", "v": 1}')
+
+    def test_deterministic_encoding(self):
+        value = {"b": 1, "a": 2}
+        assert codec.encode(value) == codec.encode({"a": 2, "b": 1})

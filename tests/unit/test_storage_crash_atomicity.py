@@ -1,0 +1,73 @@
+"""Crash-atomicity tests for the file-backed stable storage.
+
+The crash-recovery model assumes ``log`` is atomic: a crash during a
+write must leave either the old value or the new one, never a torn
+file.  FileStorage implements this with write-to-temp + fsync + rename;
+these tests simulate crashes at each step and check the invariant.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.storage.file import FileStorage
+
+
+class TestCrashDuringWrite:
+    def test_crash_before_rename_preserves_old_value(self, tmp_path,
+                                                      monkeypatch):
+        storage = FileStorage(str(tmp_path / "store"))
+        storage.log("key", "old")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            storage.log("key", "new")
+        monkeypatch.undo()
+        # A fresh incarnation over the same directory sees the old value.
+        reopened = FileStorage(str(tmp_path / "store"))
+        assert reopened.retrieve("key") == "old"
+
+    def test_no_temp_file_litter_after_crash(self, tmp_path,
+                                             monkeypatch):
+        storage = FileStorage(str(tmp_path / "store"))
+        storage.log("key", "old")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            storage.log("key", "new")
+        monkeypatch.undo()
+        leftovers = [name for name in os.listdir(str(tmp_path / "store"))
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_crash_on_first_write_leaves_key_absent(self, tmp_path,
+                                                    monkeypatch):
+        storage = FileStorage(str(tmp_path / "store"))
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            storage.log("never", "written")
+        monkeypatch.undo()
+        assert FileStorage(str(tmp_path / "store")) \
+            .retrieve("never") is None
+
+    def test_successful_write_is_complete_json(self, tmp_path):
+        storage = FileStorage(str(tmp_path / "store"))
+        storage.log(("consensus", 0, "proposal"), {"complex": [1, (2,)]})
+        # Read the raw file: it must parse standalone (no torn writes).
+        from repro.storage import codec
+        directory = str(tmp_path / "store")
+        (filename,) = os.listdir(directory)
+        with open(os.path.join(directory, filename)) as handle:
+            assert codec.decode(handle.read()) == {"complex": [1, (2,)]}

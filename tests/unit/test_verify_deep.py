@@ -1,0 +1,144 @@
+"""Deep tests for the property verifier: it must catch what it claims to.
+
+The verifier is the suite's oracle, so these tests inject synthetic
+violations of each Atomic Broadcast property into otherwise-healthy runs
+and assert the right failure fires — guarding against a verifier that
+silently passes everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agreed import AgreedQueue
+from repro.core.ids import MessageId
+from repro.core.messages import AppMessage
+from repro.errors import VerificationError
+from repro.harness.cluster import ClusterConfig
+from repro.harness.scenario import Scenario, run_scenario
+from repro.harness.verify import (_is_contiguous_slice,
+                                  _node_delivered_set, verify_run)
+from repro.workloads.generators import PoissonWorkload
+
+
+def healthy_cluster(seed=70):
+    result = run_scenario(Scenario(
+        cluster=ClusterConfig(n=3, seed=seed, protocol="basic"),
+        workload=PoissonWorkload(1.5, 6.0, seed=seed),
+        duration=10.0))
+    return result.cluster
+
+
+class TestHelpers:
+    def test_contiguous_slice_positive(self):
+        canonical = [MessageId(0, 1, i) for i in range(1, 6)]
+        assert _is_contiguous_slice(canonical[1:4], canonical)
+        assert _is_contiguous_slice([], canonical)
+        assert _is_contiguous_slice(canonical, canonical)
+
+    def test_contiguous_slice_negative(self):
+        canonical = [MessageId(0, 1, i) for i in range(1, 6)]
+        gap = [canonical[0], canonical[2]]
+        assert not _is_contiguous_slice(gap, canonical)
+        foreign = [MessageId(9, 9, 9)]
+        assert not _is_contiguous_slice(foreign, canonical)
+        swapped = [canonical[1], canonical[0]]
+        assert not _is_contiguous_slice(swapped, canonical)
+
+    def test_node_delivered_set_covers_checkpointed_prefix(self):
+        queue = AgreedQueue()
+        queue.append_batch([AppMessage(MessageId(0, 1, 1), "a"),
+                            AppMessage(MessageId(1, 1, 1), "b")])
+        queue.compact("state")
+        queue.append_batch([AppMessage(MessageId(0, 1, 2), "c")])
+
+        class Stub:
+            agreed = queue
+
+        ids = _node_delivered_set(Stub())
+        assert ids == {MessageId(0, 1, 1), MessageId(1, 1, 1),
+                       MessageId(0, 1, 2)}
+
+
+class TestInjectedViolations:
+    def test_clean_run_passes(self):
+        verify_run(healthy_cluster())
+
+    def test_validity_spurious_message(self):
+        cluster = healthy_cluster(seed=71)
+        ghost = AppMessage(MessageId(7, 7, 7), "ghost")
+        # Inject into the decision archive: it never was broadcast.
+        highest = max(cluster.collector.decisions)
+        cluster.collector.decisions[highest + 1] = frozenset({ghost})
+        for abcast in cluster.abcasts.values():
+            abcast.agreed.append_batch([ghost])
+        with pytest.raises(VerificationError, match="validity"):
+            verify_run(cluster)
+
+    def test_total_order_non_prefix_set(self):
+        cluster = healthy_cluster(seed=72)
+        # Remove a mid-sequence message from one node's queue (keep its
+        # later ones): the delivered set is no longer a canonical prefix.
+        abcast = cluster.abcasts[0]
+        sequence = abcast.agreed.sequence()
+        assert len(sequence) >= 3
+        rebuilt = AgreedQueue()
+        rebuilt.append_batch([sequence[0]])
+        rebuilt.append_batch([sequence[2]])
+        abcast.agreed = rebuilt
+        with pytest.raises(VerificationError, match="total order"):
+            verify_run(cluster, check_termination=False)
+
+    def test_suffix_out_of_canonical_order(self):
+        cluster = healthy_cluster(seed=73)
+        abcast = cluster.abcasts[1]
+        assert len(abcast.agreed.suffix) >= 2
+        abcast.agreed.suffix.reverse()
+        with pytest.raises(VerificationError, match="total order"):
+            verify_run(cluster, check_termination=False)
+
+    def test_duplicate_in_suffix(self):
+        cluster = healthy_cluster(seed=74)
+        abcast = cluster.abcasts[2]
+        abcast.agreed.suffix.append(abcast.agreed.suffix[0])
+        with pytest.raises(VerificationError):
+            verify_run(cluster, check_termination=False)
+
+    def test_incarnation_stream_duplicate(self):
+        cluster = healthy_cluster(seed=75)
+        deliveries = cluster.collector.deliveries
+        node, inc, mid, when = deliveries[0]
+        deliveries.append((node, inc, mid, when + 1.0))
+        with pytest.raises(VerificationError, match="integrity"):
+            verify_run(cluster, check_termination=False)
+
+    def test_termination_missing_at_good_node(self):
+        cluster = healthy_cluster(seed=76)
+        cluster.abcasts[1].agreed = AgreedQueue()
+        with pytest.raises(VerificationError, match="termination"):
+            verify_run(cluster)
+        # Restricting good nodes excludes the gutted one: passes again.
+        verify_run(cluster, good_nodes=[0, 2])
+
+    def test_decision_disagreement_between_nodes(self):
+        cluster = healthy_cluster(seed=77)
+        # Rewrite one node's logged decision for instance 0.
+        consensus = cluster.consensuses[0]
+        other = AppMessage(MessageId(8, 8, 8), "evil")
+        cluster.nodes[0].storage.log(
+            (consensus.PROPOSAL_KEY, 0, "decision"), frozenset({other}))
+        consensus._decisions.pop(0, None)
+        with pytest.raises(VerificationError, match="uniform agreement"):
+            verify_run(cluster, check_termination=False)
+
+
+class TestReportContents:
+    def test_report_counts_match_run(self):
+        cluster = healthy_cluster(seed=78)
+        report = verify_run(cluster)
+        assert len(report.canonical) == \
+            len(cluster.collector.first_delivery)
+        assert report.rounds == max(ab.k for ab in
+                                    cluster.abcasts.values())
+        assert set(report.good_nodes) == {0, 1, 2}
+        assert report.undeliverable == set()

@@ -1,0 +1,69 @@
+"""Unit tests for the Atomic Broadcast wire-message model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agreed import AgreedQueue
+from repro.core.ids import MessageId
+from repro.core.messages import AppMessage, GossipMessage, StateMessage
+from repro.sizing import estimate_size
+from repro.storage import codec
+
+
+def msg(seq, payload=None):
+    return AppMessage(MessageId(0, 1, seq), payload)
+
+
+class TestGossipMessage:
+    def test_fields_and_type(self):
+        gossip = GossipMessage(5, frozenset({msg(1)}), ckpt_k=3)
+        assert gossip.type == "ab.gossip"
+        assert gossip.k == 5
+        assert gossip.ckpt_k == 3
+        assert gossip.payload() == (5, frozenset({msg(1)}), 3)
+
+    def test_size_scales_with_unordered_set(self):
+        small = GossipMessage(0, frozenset())
+        big = GossipMessage(0, frozenset(
+            msg(i, payload="x" * 50) for i in range(1, 11)))
+        assert big.estimated_size() > small.estimated_size() + 500
+
+    def test_default_ckpt_k_is_zero(self):
+        assert GossipMessage(1, frozenset()).ckpt_k == 0
+
+
+class TestStateMessage:
+    def test_carries_portable_queue(self):
+        queue = AgreedQueue()
+        queue.append_batch([msg(1, "a"), msg(2, "b")])
+        state = StateMessage(7, queue.to_plain())
+        rebuilt = AgreedQueue.from_plain(state.agreed_plain)
+        assert [m.payload for m in rebuilt.sequence()] == ["a", "b"]
+        assert state.k == 7
+
+    def test_size_reflects_queue_content(self):
+        empty = StateMessage(0, AgreedQueue().to_plain())
+        queue = AgreedQueue()
+        queue.append_batch([msg(i, "y" * 40) for i in range(1, 9)])
+        full = StateMessage(0, queue.to_plain())
+        assert full.estimated_size() > empty.estimated_size() + 300
+
+
+class TestAppMessageCodec:
+    def test_registered_with_storage_codec(self):
+        original = msg(3, payload=("tuple", 1, None))
+        decoded = codec.decode(codec.encode(original))
+        assert decoded == original
+        assert decoded.payload == original.payload
+        assert isinstance(decoded.id, MessageId)
+
+    def test_nested_in_containers(self):
+        batch = frozenset({msg(1, "a"), msg(2, "b")})
+        wrapped = {"round": 4, "batch": batch}
+        assert codec.decode(codec.encode(wrapped)) == wrapped
+
+    def test_estimated_size_includes_payload(self):
+        light = msg(1, None)
+        heavy = msg(1, "z" * 500)
+        assert estimate_size(heavy) > estimate_size(light) + 500
