@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — standalone analyzer entry point."""
+
+import sys
+
+from repro.analysis.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Analyzer engine: parse modules, run rules, honour suppressions.
+
+The engine is deliberately file-at-a-time and AST-only — no imports of
+the code under analysis — so it can lint a broken working tree and runs
+in milliseconds as a CI gate.
+
+Suppressions
+------------
+A finding is suppressed by a comment on the flagged line::
+
+    delay = random.random()  # repro: noqa(DET004) -- reviewed: seeded upstream
+
+``# repro: noqa`` with no rule list suppresses every rule on that line.
+The text after ``--`` is a free-form justification; reviewers should
+treat a bare suppression (no justification) as a smell.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.registry import RuleRegistry, default_registry
+from repro.errors import AnalysisError
+
+__all__ = ["Finding", "ModuleContext", "Report", "analyze_source",
+           "analyze_paths", "iter_python_files", "module_name_for_path"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\(\s*(?P<rules>[A-Za-z0-9_,\s]+)\s*\))?")
+
+_ALL_RULES = "*"
+
+
+class Finding:
+    """One rule violation at a source location."""
+
+    __slots__ = ("rule_id", "path", "line", "col", "message")
+
+    def __init__(self, rule_id: str, path: str, line: int, col: int,
+                 message: str):
+        self.rule_id = rule_id
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule_id, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Finding {self.rule_id} {self.location()}>"
+
+
+class ModuleContext:
+    """Everything a rule needs to inspect one module."""
+
+    __slots__ = ("module", "path", "tree", "source", "lines")
+
+    def __init__(self, module: str, path: str, tree: ast.Module,
+                 source: str):
+        self.module = module
+        self.path = path
+        self.tree = tree
+        self.source = source
+        self.lines = source.splitlines()
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(rule_id, self.path,
+                       getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0), message)
+
+
+class Report:
+    """Outcome of one analyzer run."""
+
+    __slots__ = ("findings", "files_analyzed")
+
+    def __init__(self, findings: List[Finding], files_analyzed: int):
+        self.findings = findings
+        self.files_analyzed = files_analyzed
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> suppressed rule ids (``*`` = all)."""
+    table: Dict[int, Set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[number] = {_ALL_RULES}
+        else:
+            table[number] = {part.strip().upper()
+                             for part in rules.split(",") if part.strip()}
+    return table
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name, anchored at the innermost ``repro`` directory.
+
+    ``/repo/src/repro/sim/kernel.py`` -> ``repro.sim.kernel``.  Files
+    outside a ``repro`` tree fall back to their stem, which simply means
+    only unscoped rules apply to them.
+    """
+    normalized = os.path.normpath(os.path.abspath(path))
+    parts = normalized.split(os.sep)
+    stem = parts[-1]
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    anchors = [i for i, part in enumerate(parts[:-1]) if part == "repro"]
+    if not anchors:
+        return stem
+    tail = parts[anchors[-1]:-1] + ([] if stem == "__init__" else [stem])
+    return ".".join(tail)
+
+
+def analyze_source(source: str, *, module: str = "<string>",
+                   path: str = "<string>",
+                   registry: Optional[RuleRegistry] = None) -> List[Finding]:
+    """Run every applicable rule over ``source``; returns live findings."""
+    if registry is None:
+        registry = default_registry()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(
+            f"{path}:{exc.lineno}: cannot parse: {exc.msg}") from exc
+    ctx = ModuleContext(module, path, tree, source)
+    suppressed = _suppressions(ctx.lines)
+    findings: List[Finding] = []
+    for rule in registry.rules():
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(ctx):
+            allowed = suppressed.get(finding.line, ())
+            if _ALL_RULES in allowed or finding.rule_id in allowed:
+                continue
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames
+                               if d not in ("__pycache__", ".git")]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            raise AnalysisError(f"no such file or directory: {path!r}")
+
+
+def analyze_paths(paths: Iterable[str], *,
+                  registry: Optional[RuleRegistry] = None) -> Report:
+    """Analyze every python file under ``paths``."""
+    if registry is None:
+        registry = default_registry()
+    findings: List[Finding] = []
+    count = 0
+    for filepath in iter_python_files(paths):
+        count += 1
+        with open(filepath, encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(analyze_source(
+            source, module=module_name_for_path(filepath), path=filepath,
+            registry=registry))
+    findings.sort(key=Finding.sort_key)
+    return Report(findings, count)

@@ -1,0 +1,51 @@
+"""Render analyzer reports as text (for humans/CI logs) or JSON (for
+tooling).  Both formats are stable: the text format is
+``path:line:col: RULE message`` — the shape editors and CI annotators
+already know how to parse — and the JSON format is a versioned object.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.engine import Report
+from repro.analysis.registry import Rule
+
+__all__ = ["format_text", "format_json", "format_rule_listing"]
+
+
+def format_text(report: Report) -> str:
+    """GCC-style one-line-per-finding text report with a summary tail."""
+    lines: List[str] = [
+        f"{finding.location()}: {finding.rule_id} {finding.message}"
+        for finding in report.findings
+    ]
+    if report.findings:
+        lines.append(f"✗ {len(report.findings)} violation(s) in "
+                     f"{report.files_analyzed} file(s) analyzed")
+    else:
+        lines.append(f"✓ clean: {report.files_analyzed} file(s) analyzed, "
+                     f"0 violations")
+    return "\n".join(lines)
+
+
+def format_json(report: Report) -> str:
+    """Machine-readable report (stable schema, version 1)."""
+    return json.dumps({
+        "version": 1,
+        "files_analyzed": report.files_analyzed,
+        "violations": len(report.findings),
+        "findings": [finding.to_dict() for finding in report.findings],
+    }, indent=2, sort_keys=True)
+
+
+def format_rule_listing(rules: List[Rule]) -> str:
+    """Human-readable catalogue of registered rules."""
+    lines = []
+    for rule in rules:
+        scope = ", ".join(rule.scope) if rule.scope else "all modules"
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"       {rule.summary}")
+        lines.append(f"       scope: {scope}")
+    return "\n".join(lines)

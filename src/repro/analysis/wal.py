@@ -1,0 +1,233 @@
+"""Crash-recovery write-ahead-logging rules (WAL family).
+
+The paper's central logging discipline (Sections 5.1–5.3): state a
+message *depends on* must reach stable storage before the message is
+sent, otherwise a crash between the send and the (never-happening) log
+leaves the cluster having observed state the sender no longer holds on
+recovery.  Formal treatments of atomic broadcast check exactly this kind
+of invariant with proof assistants; here we settle for a conservative
+intraprocedural dataflow pass.
+
+Protocol classes opt in by declaring the volatile mirrors of their
+durable state::
+
+    class PaxosConsensus(ConsensusService):
+        VOLATILE_FIELDS = ("_acceptor", "_attempt_counter")
+
+Within each method of such a class the rule tracks, in statement order,
+the set of declared fields mutated since the last stable-storage write
+(``storage.log`` / ``storage.append`` / ``self._store`` / ...).  If a
+transport send (``endpoint.send`` / ``endpoint.multisend``) is reachable
+while that set is non-empty, the send is flagged.  Branches are analyzed
+independently and merged by union; loop bodies get a second pass so a
+mutation late in the body reaches a send at its top.  The pass is
+intraprocedural: helper calls are opaque, so the discipline "mutate and
+log in the same helper" (as ``_set_acceptor_state`` does) is the pattern
+that keeps code clean under this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.registry import Rule
+
+__all__ = ["WAL_RULES", "VOLATILE_DECLARATION"]
+
+#: Class attribute the rule reads to learn a class's volatile mirrors.
+VOLATILE_DECLARATION = "VOLATILE_FIELDS"
+
+_BARRIER_OPS = frozenset({"log", "append", "delete", "delete_prefix",
+                          "flush", "sync"})
+_SELF_BARRIERS = frozenset({"_store", "take_checkpoint"})
+_SEND_OPS = frozenset({"send", "multisend"})
+_SEND_RECEIVERS = ("endpoint", "network", "transport")
+_MUTATORS = frozenset({"append", "add", "update", "pop", "popitem", "clear",
+                       "remove", "discard", "extend", "insert",
+                       "setdefault", "sort"})
+
+
+def _attr_path(node: ast.AST) -> Tuple[str, ...]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _self_field(node: ast.AST) -> str:
+    """``self.f`` or ``self.f[...]`` -> ``"f"`` (else ``""``)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    path = _attr_path(node)
+    if len(path) == 2 and path[0] == "self":
+        return path[1]
+    return ""
+
+
+class _Event:
+    """One ordered action inside a statement: mutate, barrier or send."""
+
+    __slots__ = ("kind", "field", "node")
+
+    def __init__(self, kind: str, field: str, node: ast.AST):
+        self.kind = kind
+        self.field = field
+        self.node = node
+
+    def position(self) -> Tuple[int, int]:
+        return (getattr(self.node, "lineno", 0),
+                getattr(self.node, "col_offset", 0))
+
+
+def _statement_events(stmt: ast.stmt, fields: Set[str]) -> List[_Event]:
+    """Mutations/barriers/sends inside one simple statement, source order."""
+    events: List[_Event] = []
+    if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) \
+            else [stmt.target]
+        for target in targets:
+            elts = target.elts if isinstance(target, (ast.Tuple, ast.List)) \
+                else [target]
+            for elt in elts:
+                field = _self_field(elt)
+                if field in fields:
+                    events.append(_Event("mutate", field, elt))
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            field = _self_field(target)
+            if field in fields:
+                events.append(_Event("mutate", field, target))
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        path = _attr_path(node.func)
+        if not path:
+            continue
+        attr = path[-1]
+        receiver = path[:-1]
+        if attr in _SEND_OPS and \
+                any(part in _SEND_RECEIVERS for part in receiver):
+            events.append(_Event("send", "", node))
+        elif attr in _BARRIER_OPS and \
+                any("storage" in part or part == "store"
+                    for part in receiver):
+            events.append(_Event("barrier", "", node))
+        elif attr in _SELF_BARRIERS and receiver[:1] == ("self",):
+            events.append(_Event("barrier", "", node))
+        elif attr in _MUTATORS and len(path) == 3 and path[0] == "self" \
+                and path[1] in fields:
+            events.append(_Event("mutate", path[1], node))
+    events.sort(key=_Event.position)
+    return events
+
+
+class WriteAheadSendRule(Rule):
+    """WAL001: log volatile-mirror mutations before dependent sends."""
+
+    id = "WAL001"
+    name = "log-before-send"
+    summary = ("a transport send is reachable after mutating a declared "
+               "volatile field with no stable-storage write in between")
+    rationale = ("Sections 5.1–5.3: a process must never send a message "
+                 "that depends on state it could forget across a crash; "
+                 "e.g. an acceptor must log (promised, accepted) before "
+                 "answering, or a recovered incarnation could un-promise "
+                 "and break Uniform Agreement.")
+    scope = ("repro.core", "repro.consensus")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for class_node in ctx.tree.body:
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            fields = self._declared_fields(class_node)
+            if not fields:
+                continue
+            for item in class_node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_method(ctx, class_node, item,
+                                                  fields)
+
+    @staticmethod
+    def _declared_fields(class_node: ast.ClassDef) -> Set[str]:
+        for stmt in class_node.body:
+            targets: Sequence[ast.expr] = ()
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == VOLATILE_DECLARATION \
+                        and isinstance(value, (ast.Tuple, ast.List)):
+                    return {elt.value for elt in value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)}
+        return set()
+
+    def _check_method(self, ctx: ModuleContext, class_node: ast.ClassDef,
+                      method: ast.AST, fields: Set[str]) -> Iterator[Finding]:
+        findings: Dict[Tuple[int, int], Finding] = {}
+        method_name = getattr(method, "name", "<method>")
+
+        def walk_block(stmts: Sequence[ast.stmt],
+                       dirty: Dict[str, int]) -> Dict[str, int]:
+            for stmt in stmts:
+                dirty = walk_stmt(stmt, dirty)
+            return dirty
+
+        def walk_stmt(stmt: ast.stmt,
+                      dirty: Dict[str, int]) -> Dict[str, int]:
+            if isinstance(stmt, ast.If):
+                then = walk_block(stmt.body, dict(dirty))
+                other = walk_block(stmt.orelse, dict(dirty))
+                return {**then, **other}
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                # Two passes: a mutation late in the body must be dirty
+                # when control returns to a send at the top.
+                once = walk_block(stmt.body, dict(dirty))
+                twice = walk_block(stmt.body, {**dirty, **once})
+                tail = walk_block(stmt.orelse, {**dirty, **twice})
+                return {**dirty, **twice, **tail}
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                return walk_block(stmt.body, dirty)
+            if isinstance(stmt, ast.Try):
+                out = walk_block(stmt.body, dict(dirty))
+                for handler in stmt.handlers:
+                    out = {**out, **walk_block(handler.body, dict(dirty))}
+                out = {**out, **walk_block(stmt.orelse, dict(out))}
+                return walk_block(stmt.finalbody, out)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                return dirty  # nested scopes are out of this pass
+            for event in _statement_events(stmt, fields):
+                if event.kind == "mutate":
+                    dirty.setdefault(event.field, event.position()[0])
+                elif event.kind == "barrier":
+                    dirty = {}
+                elif event.kind == "send" and dirty:
+                    position = event.position()
+                    if position not in findings:
+                        summary = ", ".join(
+                            f"{name!r} (mutated line {line})"
+                            for name, line in sorted(dirty.items()))
+                        findings[position] = ctx.finding(
+                            self.id, event.node,
+                            f"{class_node.name}.{method_name}: transport "
+                            f"send reachable after mutating volatile "
+                            f"field(s) {summary} with no stable-storage "
+                            f"write in between")
+            return dirty
+
+        walk_block(getattr(method, "body", []), {})
+        for position in sorted(findings):
+            yield findings[position]
+
+
+WAL_RULES = (WriteAheadSendRule(),)

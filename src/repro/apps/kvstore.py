@@ -14,7 +14,7 @@ are plain tuples, so they survive the storage codec:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict
 
 from repro.apps.base import Application
 from repro.core.messages import AppMessage

@@ -19,7 +19,9 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.lint import add_lint_arguments, execute_lint
 from repro.core.alternative import AlternativeConfig
+from repro.errors import ReproError
 from repro.harness.cluster import PROTOCOLS, ClusterConfig
 from repro.harness.report import format_table
 from repro.harness.scenario import Scenario, run_scenario
@@ -70,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-n", "--nodes", type=int, default=3)
     compare.add_argument("--rate", type=float, default=2.0)
     compare.add_argument("--duration", type=float, default=10.0)
+
+    lint = commands.add_parser(
+        "lint", help="protocol-aware static analysis (determinism, "
+                     "write-ahead-logging, sim-coroutine rules)")
+    add_lint_arguments(lint)
 
     commands.add_parser("info", help="list protocols and experiments")
     return parser
@@ -177,13 +184,24 @@ def _info() -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit status."""
+    """CLI entry point; returns a process exit status.
+
+    Library errors (including analyzer failures) exit with a clean
+    one-line message on stderr — never a traceback.
+    """
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return _run(args)
-    if args.command == "compare":
-        return _compare(args)
-    return _info()
+    try:
+        if args.command == "run":
+            return _run(args)
+        if args.command == "compare":
+            return _compare(args)
+        if args.command == "lint":
+            return execute_lint(args.paths, args.output_format,
+                                args.list_rules)
+        return _info()
+    except ReproError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

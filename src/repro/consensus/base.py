@@ -49,6 +49,10 @@ class ConsensusService(NodeComponent):
 
     PROPOSAL_KEY = "consensus"
 
+    # Volatile caches of the durable proposal/decision logs, patrolled by
+    # the WAL001 lint: log first, then cache (P4/P5 survive crashes).
+    VOLATILE_FIELDS = ("_proposals", "_decisions")
+
     def __init__(self, namespace: str = "") -> None:
         super().__init__()
         # A non-empty namespace isolates this instance's durable state —

@@ -170,6 +170,11 @@ class PaxosConsensus(ConsensusService):
 
     ACCEPTOR_KEY = "paxos"
 
+    # Volatile mirrors of durable acceptor state, patrolled by the WAL001
+    # lint: mutations must reach stable storage before any dependent send
+    # (an acceptor that answers before logging can un-promise on recovery).
+    VOLATILE_FIELDS = ("_acceptor", "_attempt_counter")
+
     def __init__(self, endpoint: Endpoint, omega: OmegaOracle,
                  durable: bool = True, attempt_timeout: float = 1.0,
                  namespace: str = ""):

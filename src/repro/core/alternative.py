@@ -30,12 +30,12 @@ benchmarks do exactly that).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, Optional
 
 from repro.consensus.base import ConsensusService
 from repro.core.agreed import AgreedQueue
 from repro.core.basic import BasicAtomicBroadcast
-from repro.core.messages import AppMessage, GossipMessage, StateMessage
+from repro.core.messages import AppMessage, StateMessage
 from repro.transport.endpoint import Endpoint
 
 __all__ = ["AlternativeAtomicBroadcast", "AlternativeConfig"]
@@ -90,6 +90,12 @@ class AlternativeAtomicBroadcast(BasicAtomicBroadcast):
 
     CHECKPOINT_KEY = ("ab", "ckpt")
     UNORDERED_KEY = ("ab", "unordered")
+
+    # In addition to the inherited incarnation mirror, ckpt_k mirrors the
+    # durable checkpoint round: gossip advertises it to drive peer-side
+    # log truncation (Figure 4, line c), so it must never run ahead of
+    # the logged checkpoint.
+    VOLATILE_FIELDS = ("incarnation", "ckpt_k")
 
     def __init__(self, endpoint: Endpoint, consensus: ConsensusService,
                  gossip_interval: float = 0.25,

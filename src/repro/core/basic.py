@@ -24,7 +24,7 @@ that the current round is simply the first round with no logged proposal.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List
 
 from repro.consensus.base import ConsensusService
 from repro.core.agreed import AgreedQueue
@@ -72,6 +72,11 @@ class BasicAtomicBroadcast(NodeComponent):
     name = "atomic-broadcast"
 
     INCARNATION_KEY = ("ab", "incarnation")
+
+    # Volatile mirror of the durable incarnation counter, patrolled by the
+    # WAL001 lint: a message id minted from an unlogged incarnation could
+    # collide after recovery (Section 4.1's unique-id requirement).
+    VOLATILE_FIELDS = ("incarnation",)
 
     def __init__(self, endpoint: Endpoint, consensus: ConsensusService,
                  gossip_interval: float = 0.25, namespace: str = "",

@@ -50,3 +50,9 @@ class BroadcastError(ReproError):
 
 class VerificationError(ReproError):
     """Raised by the harness when a run violates an Atomic Broadcast property."""
+
+
+class AnalysisError(ReproError):
+    """Raised when the static analyzer cannot run (bad paths, unparseable
+    sources, misconfigured rules) — distinct from *findings*, which are
+    reported, not raised."""

@@ -23,7 +23,7 @@ application and reporting to the shared
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.apps.base import ReplicatedStateMachine
 from repro.apps.counter import SequenceRecorder

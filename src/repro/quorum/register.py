@@ -34,7 +34,7 @@ read-modify-write commands, which no static-quorum register can).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, Set, Tuple
 
 from repro.errors import ProcessDown
 from repro.sim.kernel import Signal

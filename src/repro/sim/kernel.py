@@ -26,9 +26,13 @@ a pure function of the seed used by the surrounding layers.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, \
+    Optional
 
 from repro.errors import SimulationError, TaskKilled
+
+if TYPE_CHECKING:  # kept out of runtime: the kernel stays dependency-free
+    from repro.sim.trace import Tracer
 
 __all__ = ["Simulator", "Task", "Event", "Signal", "Timer", "AnyOf"]
 
@@ -311,7 +315,7 @@ class Simulator:
         self._event_count = 0
         # Optional structured tracer (see repro.sim.trace); instrumented
         # layers call self.trace(...) which no-ops when unset.
-        self.tracer = None
+        self.tracer: Optional[Tracer] = None
 
     def trace(self, category: str, node: int, action: str,
               **details: Any) -> None:

@@ -35,7 +35,9 @@ class SeedSequence:
         existing = self._streams.get(name)
         if existing is not None:
             return existing
-        stream = random.Random(self.derive(name))
+        # The one sanctioned random.Random construction: this *is* the
+        # seed boundary every other draw in the system flows from.
+        stream = random.Random(self.derive(name))  # repro: noqa(DET004)
         self._streams[name] = stream
         return stream
 

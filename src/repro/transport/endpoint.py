@@ -14,7 +14,7 @@ which is what the transport unit tests exercise.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Generator, Optional, Tuple
+from typing import Any, Callable, Deque, Generator, Tuple
 
 from repro.errors import ProcessDown
 from repro.sim.kernel import Signal

@@ -20,7 +20,7 @@ delay: a process's loopback does not cross the network.
 
 from __future__ import annotations
 
-import random
+import random  # typing only: the Network *receives* a seeded stream
 from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.errors import SimulationError

@@ -16,7 +16,7 @@ invoke ``A-broadcast``), which the paper's model permits.
 
 from __future__ import annotations
 
-import random
+import random  # seeded per-workload random.Random instances only
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 __all__ = [
