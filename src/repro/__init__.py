@@ -28,7 +28,8 @@ from repro.core import (AlternativeAtomicBroadcast, AlternativeConfig,
                         AppMessage, BasicAtomicBroadcast, MessageId)
 from repro.harness import (Cluster, ClusterConfig, Scenario, ScenarioResult,
                            run_scenario, verify_run)
-from repro.sim import FaultSchedule, RandomFaults, SeedSequence, Simulator
+from repro.runtime import SeedSequence, Simulator
+from repro.sim import FaultSchedule, RandomFaults
 from repro.transport import NetworkConfig
 
 __version__ = "1.0.0"

@@ -1,12 +1,21 @@
 """Determinism rules (DET family).
 
-The simulation kernel promises that a run is a pure function of the seed
-(:mod:`repro.sim.kernel`): ties are broken by scheduling order and every
-random draw flows from a named stream of :class:`repro.sim.rng.SeedSequence`.
-That promise dies the moment protocol code reads the wall clock, asks the
-OS for entropy, or iterates a hash-ordered ``set``, so these rules ban
-such constructs inside the deterministic core — ``repro.sim``,
-``repro.core``, ``repro.consensus`` and ``repro.transport``.
+The simulated runtime promises that a run is a pure function of the seed
+(:mod:`repro.runtime.sim`): ties are broken by scheduling order and every
+random draw flows from a named stream of
+:class:`repro.runtime.rng.SeedSequence`.  That promise dies the moment
+protocol code reads the wall clock, asks the OS for entropy, or iterates
+a hash-ordered ``set``, so these rules ban such constructs inside the
+deterministic core — ``repro.runtime``, ``repro.sim``, ``repro.core``,
+``repro.consensus`` and ``repro.transport``.
+
+The live runtime (``repro.runtime.live``/``live_net``) is *by design*
+wall-clock and OS-entropy territory: it maps the same protocol code onto
+asyncio and UDP, where time is real.  It is carved out of the scope by
+explicit rule configuration (``LIVE_RUNTIME_EXCLUDE``) rather than
+``# repro: noqa`` comments — the whole module is outside the determinism
+contract, and that decision belongs in one audited place, not scattered
+per-line (docs/ANALYSIS.md, "Scope configuration").
 
 Sanctioned escape hatches (a seeded ``random.Random`` at the simulation
 boundary, the soft real-time pacer's injected wall clock) carry a
@@ -23,9 +32,17 @@ from repro.analysis.registry import Rule
 
 __all__ = ["DETERMINISM_RULES"]
 
-#: Packages whose behaviour must be a pure function of the seed.
+#: Packages whose behaviour must be a pure function of the seed.  The
+#: runtime package is included so the deterministic substrate
+#: (``repro.runtime.sim``, primitives, node, rng) stays patrolled.
 DETERMINISTIC_SCOPE: Tuple[str, ...] = (
-    "repro.sim", "repro.core", "repro.consensus", "repro.transport")
+    "repro.runtime", "repro.sim", "repro.core", "repro.consensus",
+    "repro.transport")
+
+#: The live runtime legitimately uses the wall clock and real sockets;
+#: the trailing ``*`` globs both ``repro.runtime.live`` and
+#: ``repro.runtime.live_net``.
+LIVE_RUNTIME_EXCLUDE: Tuple[str, ...] = ("repro.runtime.live*",)
 
 _WALL_CLOCK_TIME = frozenset({
     "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
@@ -71,6 +88,7 @@ class WallClockRule(Rule):
                  "run to run, breaking seed-reproducibility and the "
                  "trace-equivalence tests.")
     scope = DETERMINISTIC_SCOPE
+    exclude = LIVE_RUNTIME_EXCLUDE
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if "time" not in _imported_names(ctx.tree) and \
@@ -104,6 +122,7 @@ class UuidRule(Rule):
                  "(node, incarnation, seq) tuples (repro.core.ids), minted "
                  "from durably-logged counters — never host randomness.")
     scope = DETERMINISTIC_SCOPE
+    exclude = LIVE_RUNTIME_EXCLUDE
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -135,6 +154,7 @@ class OsEntropyRule(Rule):
                  "random draw to flow from SeedSequence streams; kernel "
                  "entropy cannot be replayed.")
     scope = DETERMINISTIC_SCOPE
+    exclude = LIVE_RUNTIME_EXCLUDE
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -173,6 +193,7 @@ class GlobalRandomRule(Rule):
                  "random.Random(...) construction must be justified with "
                  "a noqa: it is the seed boundary.")
     scope = DETERMINISTIC_SCOPE
+    exclude = LIVE_RUNTIME_EXCLUDE
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -207,6 +228,7 @@ class SetIterationRule(Rule):
                  "fan-outs must iterate sorted() views — cf. the "
                  "deterministic batch-ordering rule of Section 4.2.")
     scope = DETERMINISTIC_SCOPE
+    exclude = LIVE_RUNTIME_EXCLUDE
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -40,6 +40,14 @@ class Rule:
         Why the rule exists, anchored to the paper (section/figure).
     scope:
         Dotted package prefixes the rule patrols; ``None`` = all modules.
+    exclude:
+        Patterns carved *out* of the scope.  A plain dotted name excludes
+        that module and its submodules; a trailing ``*`` is a name glob
+        (``"repro.runtime.live*"`` excludes ``repro.runtime.live`` *and*
+        ``repro.runtime.live_net``).  Exclusion is explicit configuration
+        — preferred over blanket ``# repro: noqa`` comments when a whole
+        module legitimately sits outside a rule's contract (see
+        docs/ANALYSIS.md).
     """
 
     id: str = ""
@@ -47,9 +55,18 @@ class Rule:
     summary: str = ""
     rationale: str = ""
     scope: Optional[Tuple[str, ...]] = None
+    exclude: Tuple[str, ...] = ()
+
+    @staticmethod
+    def _matches(module: str, pattern: str) -> bool:
+        if pattern.endswith("*"):
+            return module.startswith(pattern[:-1])
+        return module == pattern or module.startswith(pattern + ".")
 
     def applies_to(self, module: str) -> bool:
         """True if ``module`` (dotted name) falls inside the rule's scope."""
+        if any(self._matches(module, pattern) for pattern in self.exclude):
+            return False
         if self.scope is None:
             return True
         return any(module == prefix or module.startswith(prefix + ".")

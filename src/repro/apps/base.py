@@ -26,7 +26,7 @@ from typing import Any, Callable, Optional
 from repro.core.basic import BasicAtomicBroadcast, DeliveryListener
 from repro.core.messages import AppMessage
 from repro.metrics.collector import MetricsCollector
-from repro.sim.process import NodeComponent
+from repro.runtime import NodeComponent
 
 __all__ = ["Application", "ReplicatedStateMachine"]
 

@@ -28,7 +28,7 @@ from repro.core.basic import DeliveryListener
 from repro.core.ids import MessageId
 from repro.core.messages import AppMessage
 from repro.errors import BroadcastError
-from repro.sim.process import NodeComponent
+from repro.runtime import NodeComponent
 from repro.transport.endpoint import Endpoint
 from repro.transport.message import WireMessage
 

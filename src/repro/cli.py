@@ -17,14 +17,18 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import tempfile
+from typing import Any, List, Optional, Tuple
 
 from repro.analysis.lint import add_lint_arguments, execute_lint
 from repro.core.alternative import AlternativeConfig
-from repro.errors import ReproError
-from repro.harness.cluster import PROTOCOLS, ClusterConfig
+from repro.errors import ReproError, VerificationError
+from repro.harness.cluster import PROTOCOLS, Cluster, ClusterConfig
+from repro.harness.live import LiveCluster
 from repro.harness.report import format_table
 from repro.harness.scenario import Scenario, run_scenario
+from repro.harness.verify import verify_run
+from repro.runtime import Tracer
 from repro.sim.faults import RandomFaults
 from repro.transport.network import NetworkConfig
 from repro.workloads.generators import PoissonWorkload
@@ -42,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run", help="run one verified scenario")
+    run.add_argument("--runtime", choices=["sim", "live"], default="sim",
+                     help="sim: deterministic virtual time; live: asyncio "
+                          "+ localhost UDP + file storage, with one "
+                          "scripted kill/restart, cross-checked against "
+                          "the sim runtime")
     run.add_argument("--protocol", choices=PROTOCOLS, default="basic")
     run.add_argument("-n", "--nodes", type=int, default=3)
     run.add_argument("--seed", type=int, default=0)
@@ -87,7 +96,116 @@ def _network(args) -> NetworkConfig:
                          duplicate_rate=args.duplicates)
 
 
+def _live_plan(args) -> Tuple[List[Tuple[float, str]], float, float]:
+    """The scripted live workload: submissions + one kill/restart.
+
+    A single sender keeps the A-delivery order a pure function of the
+    submission sequence (batches always respect the deterministic
+    MessageId order), so the live run is comparable to a sim replay of
+    the same plan even though live timing is non-deterministic.
+    """
+    count = max(1, int(args.rate * args.duration))
+    window = 0.6 * args.duration
+    submissions = [(0.1 + i * window / count, f"live-{i}")
+                   for i in range(count)]
+    kill_at = 0.45 * args.duration
+    restart_at = 0.75 * args.duration
+    return submissions, kill_at, restart_at
+
+
+def _canonical_payloads(cluster: Any) -> List[Any]:
+    """Verify the run and return its canonical payload sequence."""
+    report = verify_run(cluster)
+    payloads = cluster.collector.broadcast_payloads
+    return [payloads[mid] for mid in report.canonical]
+
+
+def _replay_in_sim(args, config: ClusterConfig,
+                   submissions: List[Tuple[float, str]],
+                   kill_at: float, restart_at: float,
+                   victim: int) -> List[Any]:
+    """Run the live plan on the deterministic runtime for comparison."""
+    cluster = Cluster(config)
+    cluster.start()
+    for when, payload in submissions:
+        cluster.sim.schedule(when, cluster.submit, 0, payload)
+    cluster.sim.schedule(kill_at, cluster.crash, victim)
+    cluster.sim.schedule(restart_at, cluster.recover, victim)
+    cluster.sim.run(until=args.duration)
+    if not cluster.settle(limit=args.duration * 20):
+        raise VerificationError("sim replay did not settle")
+    return _canonical_payloads(cluster)
+
+
+def _run_live(args) -> int:
+    """One live run (asyncio + UDP + files) cross-checked against sim."""
+    if args.faults == "random":
+        raise ReproError(
+            "--faults random is not supported with --runtime live; the "
+            "live runner always injects one scripted kill/restart")
+    alt = AlternativeConfig(
+        checkpoint_interval=args.checkpoint_interval or None,
+        delta=args.delta or None,
+        log_unordered=args.log_unordered)
+    config = ClusterConfig(n=args.nodes, seed=args.seed,
+                           protocol=args.protocol,
+                           network=_network(args), alt=alt)
+    submissions, kill_at, restart_at = _live_plan(args)
+    victim = args.nodes - 1
+    with tempfile.TemporaryDirectory(prefix="repro-live-") as directory:
+        cluster = LiveCluster(config, directory)
+        with cluster:
+            tracer = None
+            if args.trace:
+                tracer = Tracer()
+                cluster.runtime.tracer = tracer
+            cluster.start()
+            for when, payload in submissions:
+                cluster.runtime.schedule(when, cluster.submit, 0, payload)
+            cluster.run_for(kill_at)
+            cluster.kill(victim)
+            cluster.run_for(restart_at - kill_at)
+            cluster.restart(victim)
+            cluster.run_for(max(0.0, args.duration - restart_at))
+            if not cluster.settle(limit=max(10.0, args.duration)):
+                raise VerificationError("live run did not settle")
+            live_order = _canonical_payloads(cluster)
+            victim_node = cluster.nodes[victim]
+            net = cluster.network.metrics.snapshot()
+            wall = cluster.runtime.now
+    sim_order = _replay_in_sim(args, config, submissions, kill_at,
+                               restart_at, victim)
+    match = live_order == sim_order
+    print(format_table(
+        f"live · {args.protocol} · n={args.nodes} · seed={args.seed} · "
+        f"loss={args.loss} (injected, over UDP)",
+        ["metric", "value"],
+        [
+            ["messages broadcast", len(submissions)],
+            ["messages delivered (canonical)", len(live_order)],
+            ["kill/restart survived",
+             f"node {victim} (recoveries: {victim_node.recovery_count})"],
+            ["UDP datagrams sent", net["sent"]],
+            ["injected loss / duplicates",
+             f"{net['lost']} / {net['duplicated']}"],
+            ["wall-clock time (s)", round(wall, 2)],
+            ["properties verified", "yes"],
+            ["delivery order matches sim", "yes" if match else "NO"],
+        ]))
+    if tracer is not None:
+        print(f"\nlast {args.trace} trace events "
+              f"({len(tracer)} recorded; counts {tracer.counts()}):")
+        print(tracer.format_text(limit=args.trace))
+    if not match:
+        raise VerificationError(
+            f"live delivery order diverged from sim: "
+            f"live={live_order} sim={sim_order}")
+    return 0
+
+
 def _run(args) -> int:
+    if args.runtime == "live":
+        return _run_live(args)
     alt = AlternativeConfig(
         checkpoint_interval=args.checkpoint_interval or None,
         delta=args.delta or None,
@@ -99,7 +217,6 @@ def _run(args) -> int:
                               seed=args.seed)
     tracer = None
     if args.trace:
-        from repro.sim.trace import Tracer
         tracer = Tracer()
     result = run_scenario(Scenario(
         cluster=ClusterConfig(n=args.nodes, seed=args.seed,

@@ -27,8 +27,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Optional
 
 from repro.errors import ConsensusError, ProposalMismatch
-from repro.sim.kernel import Signal
-from repro.sim.process import NodeComponent
+from repro.runtime import NodeComponent, Signal
 
 __all__ = ["ConsensusService"]
 

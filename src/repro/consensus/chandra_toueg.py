@@ -29,7 +29,7 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.consensus.base import ConsensusService
 from repro.fdetect.heartbeat import HeartbeatDetector
-from repro.sim.kernel import AnyOf, Signal
+from repro.runtime import AnyOf, Signal
 from repro.transport.endpoint import Endpoint
 from repro.transport.message import WireMessage
 

@@ -36,7 +36,7 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.consensus.base import ConsensusService
 from repro.fdetect.omega import OmegaOracle
-from repro.sim.kernel import AnyOf
+from repro.runtime import AnyOf
 from repro.transport.endpoint import Endpoint
 from repro.transport.message import WireMessage
 

@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterable, List, Optional
 from repro.core.ids import MessageId
 from repro.core.messages import AppMessage
 from repro.core.tracker import DeliveredTracker
+from repro.sizing import estimate_size
 
 __all__ = ["AgreedQueue", "deterministic_order", "sender_round_robin_order"]
 
@@ -155,7 +156,6 @@ class AgreedQueue:
 
     def estimated_size(self) -> int:
         """Wire/log size of the queue snapshot (for E4/E5 accounting)."""
-        from repro.sizing import estimate_size
         return estimate_size(self.to_plain())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

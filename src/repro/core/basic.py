@@ -27,12 +27,11 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List
 
 from repro.consensus.base import ConsensusService
-from repro.core.agreed import AgreedQueue
+from repro.core.agreed import AgreedQueue, deterministic_order
 from repro.core.ids import MessageId
 from repro.core.messages import AppMessage, GossipMessage
 from repro.errors import BroadcastError
-from repro.sim.kernel import Signal
-from repro.sim.process import NodeComponent
+from repro.runtime import NodeComponent, Signal
 from repro.transport.endpoint import Endpoint
 
 __all__ = ["BasicAtomicBroadcast", "DeliveryListener"]
@@ -89,7 +88,6 @@ class BasicAtomicBroadcast(NodeComponent):
             self.INCARNATION_KEY = (f"ab@{namespace}", "incarnation")
         # The predetermined deterministic batch-ordering rule
         # (Section 4.2): any rule works, but it MUST be cluster-uniform.
-        from repro.core.agreed import deterministic_order
         self.order_rule = order_rule or deterministic_order
         self.endpoint = endpoint
         self.consensus = consensus

@@ -32,8 +32,7 @@ from typing import Any, Dict, Generator, Optional
 
 from repro.core.basic import BasicAtomicBroadcast, DeliveryListener
 from repro.core.messages import AppMessage
-from repro.sim.kernel import Signal
-from repro.sim.process import NodeComponent
+from repro.runtime import NodeComponent, Signal
 
 __all__ = ["ConsensusFromAtomicBroadcast"]
 

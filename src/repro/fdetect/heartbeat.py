@@ -28,8 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
-from repro.sim.kernel import Signal
-from repro.sim.process import NodeComponent
+from repro.runtime import NodeComponent, Signal
 from repro.transport.endpoint import Endpoint
 from repro.transport.message import WireMessage
 

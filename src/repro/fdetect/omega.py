@@ -12,8 +12,7 @@ layer needs to terminate.
 from __future__ import annotations
 
 from repro.fdetect.heartbeat import HeartbeatDetector
-from repro.sim.kernel import Signal
-from repro.sim.process import NodeComponent
+from repro.runtime import NodeComponent, Signal
 
 __all__ = ["OmegaOracle"]
 

@@ -1,6 +1,7 @@
 """Experiment harness: cluster assembly, scenario runs, verification."""
 
 from repro.harness.cluster import PROTOCOLS, Cluster, ClusterConfig
+from repro.harness.live import LiveCluster
 from repro.harness.report import format_table, print_table
 from repro.harness.scenario import Scenario, ScenarioResult, run_scenario
 from repro.harness.verify import (VerificationReport, canonical_sequence,
@@ -9,6 +10,7 @@ from repro.harness.verify import (VerificationReport, canonical_sequence,
 __all__ = [
     "Cluster",
     "ClusterConfig",
+    "LiveCluster",
     "PROTOCOLS",
     "Scenario",
     "ScenarioResult",

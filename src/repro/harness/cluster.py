@@ -40,14 +40,13 @@ from repro.errors import SimulationError
 from repro.fdetect.heartbeat import HeartbeatDetector
 from repro.fdetect.omega import OmegaOracle
 from repro.metrics.collector import MetricsCollector, RunMetrics
-from repro.sim.kernel import Simulator
-from repro.sim.process import Node
-from repro.sim.rng import SeedSequence
+from repro.runtime import Node, SeedSequence, Simulator
 from repro.storage.memory import MemoryStorage
 from repro.transport.endpoint import Endpoint
 from repro.transport.network import Network, NetworkConfig
 
-__all__ = ["Cluster", "ClusterConfig", "PROTOCOLS"]
+__all__ = ["Cluster", "ClusterConfig", "PROTOCOLS", "build_node_stack",
+           "stack_settled"]
 
 PROTOCOLS = ("basic", "alternative", "eager", "ct", "sequencer")
 
@@ -90,6 +89,90 @@ class ClusterConfig:
             (lambda node_id: MemoryStorage())
 
 
+def build_node_stack(sim: Any, network: Any, config: ClusterConfig,
+                     collector: MetricsCollector, node_id: int,
+                     storage: Any) -> Tuple[Node, Any, Optional[Any],
+                                            ReplicatedStateMachine]:
+    """Assemble one node's protocol stack on any runtime/medium pair.
+
+    ``sim`` is any :class:`~repro.runtime.api.Runtime` and ``network``
+    any :class:`~repro.runtime.api.TransportMedium`; the construction
+    order is part of the determinism contract (components start in stack
+    order), so both the simulated :class:`Cluster` and the live
+    :class:`~repro.harness.live.LiveCluster` build through this one
+    function.  Returns ``(node, abcast, consensus-or-None, rsm)``.
+    """
+    node = Node(sim, node_id, storage)
+    endpoint = node.add_component(Endpoint(network))
+    abcast: Any
+    consensus: Optional[Any] = None
+    if config.protocol == "sequencer":
+        abcast = node.add_component(FixedSequencerBroadcast(
+            endpoint, sequencer_id=config.sequencer_id))
+    else:
+        detector = node.add_component(HeartbeatDetector(
+            endpoint, period=config.fd_period,
+            initial_timeout=config.fd_timeout,
+            durable_epoch=config.protocol != "ct"))
+        if config.protocol == "ct":
+            consensus = node.add_component(
+                ChandraTouegConsensus(endpoint, detector))
+        else:
+            omega = node.add_component(OmegaOracle(detector))
+            consensus = node.add_component(PaxosConsensus(
+                endpoint, omega, durable=True,
+                attempt_timeout=config.attempt_timeout))
+        consensus.observer = collector
+        if config.protocol == "basic":
+            abcast = BasicAtomicBroadcast(
+                endpoint, consensus,
+                gossip_interval=config.gossip_interval)
+        elif config.protocol == "alternative":
+            abcast = AlternativeAtomicBroadcast(
+                endpoint, consensus,
+                gossip_interval=config.gossip_interval,
+                config=config.alt or AlternativeConfig())
+        elif config.protocol == "eager":
+            abcast = EagerLoggingAtomicBroadcast(
+                endpoint, consensus,
+                gossip_interval=config.gossip_interval)
+        elif config.protocol == "ct":
+            abcast = ChandraTouegAtomicBroadcast(
+                endpoint, consensus,
+                gossip_interval=config.gossip_interval)
+        node.add_component(abcast)
+    rsm = node.add_component(ReplicatedStateMachine(
+        abcast, config.app_factory, collector))
+    network.register(node)
+    return node, abcast, consensus, rsm
+
+
+def stack_settled(nodes: Dict[int, Node], abcasts: Dict[int, Any],
+                  collector: MetricsCollector, target: int) -> bool:
+    """True when every up node has delivered everything outstanding.
+
+    Shared between the simulated and live clusters so "settled" means the
+    same thing on both runtimes.
+    """
+    for node_id, node in nodes.items():
+        if not node.up:
+            continue
+        if abcasts[node_id].delivered_count() < len(collector.first_delivery):
+            return False
+    # Every up node saw every message that anyone delivered; check the
+    # backlog too: anything broadcast but not yet ordered anywhere?
+    undelivered = target - len(collector.first_delivery)
+    if undelivered == 0:
+        return True
+    # Messages can be legitimately lost if their sender crashed before
+    # dissemination; treat those as settled only if no up node still
+    # holds them in its Unordered set.
+    for node_id, node in nodes.items():
+        if node.up and getattr(abcasts[node_id], "unordered", None):
+            return False
+    return True
+
+
 class Cluster:
     """A built, ready-to-run cluster."""
 
@@ -111,48 +194,11 @@ class Cluster:
 
     def _build_node(self, node_id: int) -> None:
         config = self.config
-        node = Node(self.sim, node_id, config.storage_factory(node_id))
-        endpoint = node.add_component(Endpoint(self.network))
-        abcast: Any
-        if config.protocol == "sequencer":
-            abcast = node.add_component(FixedSequencerBroadcast(
-                endpoint, sequencer_id=config.sequencer_id))
-        else:
-            detector = node.add_component(HeartbeatDetector(
-                endpoint, period=config.fd_period,
-                initial_timeout=config.fd_timeout,
-                durable_epoch=config.protocol != "ct"))
-            if config.protocol == "ct":
-                consensus = node.add_component(
-                    ChandraTouegConsensus(endpoint, detector))
-            else:
-                omega = node.add_component(OmegaOracle(detector))
-                consensus = node.add_component(PaxosConsensus(
-                    endpoint, omega, durable=True,
-                    attempt_timeout=config.attempt_timeout))
-            consensus.observer = self.collector
+        node, abcast, consensus, rsm = build_node_stack(
+            self.sim, self.network, config, self.collector, node_id,
+            config.storage_factory(node_id))
+        if consensus is not None:
             self.consensuses[node_id] = consensus
-            if config.protocol == "basic":
-                abcast = BasicAtomicBroadcast(
-                    endpoint, consensus,
-                    gossip_interval=config.gossip_interval)
-            elif config.protocol == "alternative":
-                abcast = AlternativeAtomicBroadcast(
-                    endpoint, consensus,
-                    gossip_interval=config.gossip_interval,
-                    config=config.alt or AlternativeConfig())
-            elif config.protocol == "eager":
-                abcast = EagerLoggingAtomicBroadcast(
-                    endpoint, consensus,
-                    gossip_interval=config.gossip_interval)
-            elif config.protocol == "ct":
-                abcast = ChandraTouegAtomicBroadcast(
-                    endpoint, consensus,
-                    gossip_interval=config.gossip_interval)
-            node.add_component(abcast)
-        rsm = node.add_component(ReplicatedStateMachine(
-            abcast, config.app_factory, self.collector))
-        self.network.register(node)
         self.nodes[node_id] = node
         self.abcasts[node_id] = abcast
         self.rsms[node_id] = rsm
@@ -193,24 +239,8 @@ class Cluster:
         return self._settled(target)
 
     def _settled(self, target: int) -> bool:
-        for node_id, node in self.nodes.items():
-            if not node.up:
-                continue
-            abcast = self.abcasts[node_id]
-            if abcast.delivered_count() < len(self.collector.first_delivery):
-                return False
-        # Every up node saw every message that anyone delivered; check the
-        # backlog too: anything broadcast but not yet ordered anywhere?
-        undelivered = target - len(self.collector.first_delivery)
-        if undelivered == 0:
-            return True
-        # Messages can be legitimately lost if their sender crashed before
-        # dissemination; treat those as settled only if no up node still
-        # holds them in its Unordered set.
-        for node_id, node in self.nodes.items():
-            if node.up and getattr(self.abcasts[node_id], "unordered", None):
-                return False
-        return True
+        return stack_settled(self.nodes, self.abcasts, self.collector,
+                             target)
 
     # -- reporting -----------------------------------------------------------------
 

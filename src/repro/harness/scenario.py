@@ -50,7 +50,7 @@ class Scenario:
         self.verify = verify
         self.check_termination = check_termination
         self.good_nodes = good_nodes
-        # Optional repro.sim.trace.Tracer attached before the run starts.
+        # Optional repro.runtime.trace.Tracer attached before the run starts.
         self.tracer = tracer
 
 

@@ -48,7 +48,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.basic import BasicAtomicBroadcast, DeliveryListener
 from repro.core.messages import AppMessage
 from repro.errors import BroadcastError
-from repro.sim.process import NodeComponent
+from repro.runtime import NodeComponent
 from repro.transport.endpoint import Endpoint
 from repro.transport.message import WireMessage
 

@@ -37,8 +37,7 @@ from __future__ import annotations
 from typing import Any, Dict, Set, Tuple
 
 from repro.errors import ProcessDown
-from repro.sim.kernel import Signal
-from repro.sim.process import NodeComponent
+from repro.runtime import AnyOf, NodeComponent, Signal
 from repro.transport.endpoint import Endpoint
 from repro.transport.message import WireMessage
 
@@ -206,7 +205,6 @@ class QuorumRegister(NodeComponent):
                 timer = sim.event("qr-retry")
                 handle = sim.schedule(self.retransmit_interval,
                                       timer.fire)
-                from repro.sim.kernel import AnyOf
                 yield AnyOf([op.signal.wait(), timer])
                 handle.cancel()
 

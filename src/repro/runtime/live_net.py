@@ -1,0 +1,196 @@
+"""Localhost UDP transport for the live runtime.
+
+:class:`LiveNetwork` gives every node its own UDP socket bound to an
+ephemeral port on 127.0.0.1 and implements the same fair-loss channel
+contract as the simulated :class:`~repro.transport.network.Network`
+(the :class:`~repro.runtime.api.TransportMedium` protocol), so the
+transport :class:`~repro.transport.endpoint.Endpoint` stacks on it
+unchanged:
+
+* channels are not FIFO and may drop or duplicate datagrams — UDP
+  provides this for real, and configurable *injected* loss/duplication
+  (drawn from a seeded stream) keeps the paper's channel model testable
+  even on a loopback interface that rarely loses anything;
+* messages to a down node are lost: a killed node's socket is closed, so
+  datagrams addressed to it vanish exactly like messages to a crashed
+  process (Section 2.1);
+* self-addressed messages stay reliable and never touch the network
+  (the paper's loopback footnote), implemented as a direct callback.
+
+Killing and restarting a node re-binds a *fresh* socket on a new
+ephemeral port; the shared port map is updated so peers reach the
+recovered process, emulating a process restart without fixed port
+assignments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.runtime import wire
+from repro.runtime.live import LiveRuntime
+from repro.runtime.node import Node
+from repro.sizing import estimate_size
+from repro.transport.message import WireMessage
+from repro.transport.network import NetworkMetrics
+
+__all__ = ["LiveNetwork"]
+
+
+class _NodeProtocol(asyncio.DatagramProtocol):
+    """Receive path of one node's socket."""
+
+    def __init__(self, network: "LiveNetwork", node_id: int):
+        self.network = network
+        self.node_id = node_id
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self.network._receive(self.node_id, data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        self.network.metrics.lost += 1
+
+
+class LiveNetwork:
+    """The UDP medium connecting the nodes of a live cluster.
+
+    Parameters
+    ----------
+    runtime:
+        The owning :class:`LiveRuntime` (sockets attach to its loop).
+    rng:
+        Seeded stream for the injected loss/duplication draws
+        (``runtime.rng("network")`` by convention).
+    loss_rate, duplicate_rate:
+        Injected Bernoulli drop/duplicate probabilities on top of
+        whatever the real network does.  ``loss_rate`` must stay < 1 to
+        preserve fair loss.
+    """
+
+    def __init__(self, runtime: LiveRuntime,
+                 rng: Optional[random.Random] = None,
+                 loss_rate: float = 0.0,
+                 duplicate_rate: float = 0.0) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(
+                f"loss_rate {loss_rate} breaks the fair-loss assumption")
+        if not 0.0 <= duplicate_rate <= 1.0:
+            raise SimulationError(f"bad duplicate_rate {duplicate_rate}")
+        self.runtime = runtime
+        self.rng = rng if rng is not None else runtime.rng("network")
+        self.loss_rate = loss_rate
+        self.duplicate_rate = duplicate_rate
+        self.nodes: Dict[int, Node] = {}
+        self.ports: Dict[int, int] = {}
+        self.metrics = NetworkMetrics()
+        self._transports: Dict[int, asyncio.DatagramTransport] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, node: Node) -> None:
+        """Attach a node to the medium (its socket opens in :meth:`open`)."""
+        if node.node_id in self.nodes:
+            raise SimulationError(f"node {node.node_id} already registered")
+        self.nodes[node.node_id] = node
+
+    def node_ids(self) -> Tuple[int, ...]:
+        """All registered node ids, sorted."""
+        return tuple(sorted(self.nodes))
+
+    # -- socket lifecycle ---------------------------------------------------
+
+    async def open(self, node_id: int) -> int:
+        """Bind (or re-bind) the node's UDP socket; returns its port."""
+        if node_id not in self.nodes:
+            raise SimulationError(f"unknown node {node_id}")
+        self.close(node_id)
+        transport, _ = await self.runtime.loop.create_datagram_endpoint(
+            lambda: _NodeProtocol(self, node_id),
+            local_addr=("127.0.0.1", 0))
+        port = transport.get_extra_info("sockname")[1]
+        self._transports[node_id] = transport
+        self.ports[node_id] = port
+        return port
+
+    async def open_all(self) -> None:
+        """Bind a socket for every registered node."""
+        for node_id in self.node_ids():
+            await self.open(node_id)
+
+    def close(self, node_id: int) -> None:
+        """Close the node's socket (datagrams in flight to it are lost)."""
+        transport = self._transports.pop(node_id, None)
+        if transport is not None:
+            transport.close()
+        self.ports.pop(node_id, None)
+
+    def close_all(self) -> None:
+        """Close every socket (end of run)."""
+        for node_id in list(self._transports):
+            self.close(node_id)
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, src: int, dst: int, message: WireMessage) -> None:
+        """Inject one message from ``src`` to ``dst``.
+
+        Injected loss and duplication are decided at send time with
+        independent seeded draws; real UDP may add its own loss,
+        reordering and (in principle) duplication on top.
+        """
+        if dst not in self.nodes:
+            raise SimulationError(f"unknown destination {dst}")
+        self.metrics.sent += 1
+        self.metrics.bytes_sent += estimate_size(message)
+        self.metrics.by_type[message.type] = \
+            self.metrics.by_type.get(message.type, 0) + 1
+
+        if src == dst:
+            # Loopback: reliable, in-process, never serialised.
+            self.runtime.call_soon(self._deliver, src, dst, message)
+            return
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            self.metrics.lost += 1
+            return
+        data = wire.encode(src, message)
+        self._transmit(src, dst, data)
+        if (self.duplicate_rate
+                and self.rng.random() < self.duplicate_rate):
+            self.metrics.duplicated += 1
+            self._transmit(src, dst, data)
+
+    def multisend(self, src: int, message: WireMessage) -> None:
+        """The paper's ``multisend`` macro: send to every process,
+        including the sender itself (Section 3.1, footnote 2)."""
+        for dst in self.nodes:
+            self.send(src, dst, message)
+
+    # -- internals ----------------------------------------------------------
+
+    def _transmit(self, src: int, dst: int, data: bytes) -> None:
+        transport = self._transports.get(src)
+        port = self.ports.get(dst)
+        if transport is None or transport.is_closing() or port is None:
+            # Sender has no socket (its process is down) or the
+            # destination is unreachable: the datagram is simply lost.
+            self.metrics.lost += 1
+            return
+        transport.sendto(data, ("127.0.0.1", port))
+
+    def _receive(self, dst: int, data: bytes) -> None:
+        try:
+            src, message = wire.decode(data)
+        except wire.WireCodecError:
+            self.metrics.lost += 1
+            return
+        self._deliver(src, dst, message)
+
+    def _deliver(self, src: int, dst: int, message: WireMessage) -> None:
+        node = self.nodes[dst]
+        if node.deliver(message, src):
+            self.metrics.delivered += 1
+        else:
+            self.metrics.dropped_down += 1

@@ -1,0 +1,159 @@
+"""Deterministic discrete-event implementation of the runtime interface.
+
+:class:`SimRuntime` is the virtual-time substrate the paper's evaluation
+runs on — a virtual clock plus a priority queue of callbacks.  It is
+intentionally small and dependency-free.
+
+Determinism: two events scheduled at the same virtual time are delivered
+in scheduling order (a monotone sequence number breaks ties), so a run is
+a pure function of the seed used by the surrounding layers.  This is the
+contract the whole test suite and every benchmark table relies on; the
+static analyzer's DET rules police the inputs (no wall clock, no OS
+entropy, no unseeded randomness) inside this implementation and the
+layers above it.
+
+``Simulator`` is kept as an alias: the class was born under that name and
+the test suite, benchmarks and docs refer to it extensively.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.runtime.api import Runtime
+from repro.runtime.primitives import Event
+
+__all__ = ["SimRuntime", "Simulator", "Timer"]
+
+
+class Timer:
+    """A cancellable handle for a scheduled callback (the heap entry)."""
+
+    __slots__ = ("when", "seq", "_callback", "_args", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback: Callable, args: tuple):
+        self.when = when
+        self.seq = seq
+        self._callback = callback
+        self._args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if it already ran)."""
+        self.cancelled = True
+        self._callback = None
+        self._args = ()
+
+    def _fire(self) -> None:
+        if not self.cancelled:
+            callback, args = self._callback, self._args
+            self.cancelled = True  # timers are one-shot
+            self._callback = None
+            self._args = ()
+            callback(*args)
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class SimRuntime(Runtime):
+    """The virtual-time event loop.
+
+    A simulation is a pure function of its initial configuration: ties in
+    the schedule are broken by insertion order, and all randomness in the
+    layers above flows from named seeded streams
+    (:mod:`repro.runtime.rng`).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self._now = 0.0
+        self._heap: List[Timer] = []
+        self._seq = 0
+        self._event_count = 0
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks executed so far (useful as a work metric)."""
+        return self._event_count
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> Timer:
+        """Run ``callback(*args)`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        timer = Timer(self._now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def call_soon(self, callback: Callable, *args: Any) -> Timer:
+        """Run ``callback(*args)`` at the current virtual time, after the
+        currently-executing callback returns."""
+        return self.schedule(0.0, callback, *args)
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have run.  Returns the final virtual time.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the queue drained earlier, so back-to-back ``run`` calls
+        compose predictably.
+        """
+        processed = 0
+        while self._heap:
+            timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and timer.when > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            heapq.heappop(self._heap)
+            self._now = timer.when
+            self._event_count += 1
+            processed += 1
+            timer._fire()
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_event(self, event: Event,
+                        limit: Optional[float] = None) -> Any:
+        """Run until ``event`` fires; returns its value.
+
+        Raises :class:`SimulationError` if the queue drains (or ``limit``
+        passes) without the event firing — a deadlock detector for tests.
+        """
+        while not event.fired:
+            if not self._heap or all(t.cancelled for t in self._heap):
+                raise SimulationError(
+                    f"deadlock: event {event.name!r} never fired "
+                    f"(queue drained at t={self._now})")
+            if limit is not None and self._heap[0].when > limit:
+                raise SimulationError(
+                    f"timeout: event {event.name!r} not fired by t={limit}")
+            self.run(max_events=1)
+        return event.value
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) timers in the queue."""
+        return sum(1 for t in self._heap if not t.cancelled)
+
+
+# Historical name, used pervasively by tests, benchmarks and docs.
+Simulator = SimRuntime

@@ -1,0 +1,99 @@
+"""UDP wire format for :class:`~repro.transport.message.WireMessage`.
+
+A datagram is one UTF-8 JSON object::
+
+    {"s": <sender id>, "t": <message type tag>, "f": {<field>: <value>}}
+
+Field values go through :mod:`repro.storage.codec` — the same tagged-JSON
+codec the stable-storage layer uses — so tuples, sets, frozensets and
+registered classes (notably :class:`~repro.core.messages.AppMessage`)
+round-trip exactly.  Decoding dispatches on the ``type`` tag through a
+registry built by walking ``WireMessage.__subclasses__()``: every message
+class that has been *imported* is decodable, and the instance is rebuilt
+structurally (``cls.__new__`` + the class's declared ``fields``) so no
+constructor signature discipline is imposed on protocol messages.
+
+The format intentionally carries no authentication or versioning: the
+live runtime is a loopback test harness for the paper's protocols, not a
+production transport.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple, Type
+
+from repro.errors import ReproError
+from repro.storage import codec
+from repro.transport.message import WireMessage
+
+__all__ = ["encode", "decode", "WireCodecError"]
+
+
+class WireCodecError(ReproError):
+    """A datagram could not be encoded or decoded."""
+
+
+def encode(sender: int, message: WireMessage) -> bytes:
+    """Serialise one message (with its sender id) to a datagram."""
+    frame = {
+        "s": sender,
+        "t": message.type,
+        "f": {name: codec.encode(getattr(message, name))
+              for name in message.fields},
+    }
+    try:
+        return json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireCodecError(
+            f"cannot encode {message.type!r}: {exc}") from exc
+
+
+# Tag -> class; None marks a tag claimed by several imported classes
+# (ambiguous): only lookups of that tag fail, the rest keep decoding.
+_registry: Optional[Dict[str, Optional[Type[WireMessage]]]] = None
+
+
+def _walk(cls: Type[WireMessage],
+          into: Dict[str, Optional[Type[WireMessage]]]) -> None:
+    for sub in cls.__subclasses__():
+        if sub.type in into and into[sub.type] is not sub:
+            into[sub.type] = None
+        else:
+            into[sub.type] = sub
+        _walk(sub, into)
+
+
+def _lookup(tag: str) -> Type[WireMessage]:
+    global _registry
+    if _registry is None or tag not in _registry:
+        # (Re)build lazily: message classes register simply by having
+        # been imported by the protocol stack under test.
+        fresh: Dict[str, Optional[Type[WireMessage]]] = {}
+        _walk(WireMessage, fresh)
+        _registry = fresh
+    if tag not in _registry:
+        raise WireCodecError(f"unknown wire type tag {tag!r}")
+    cls = _registry[tag]
+    if cls is None:
+        raise WireCodecError(
+            f"ambiguous wire type tag {tag!r}: claimed by more than one "
+            f"imported WireMessage class")
+    return cls
+
+
+def decode(data: bytes) -> Tuple[int, WireMessage]:
+    """Deserialise a datagram back into ``(sender id, message)``."""
+    try:
+        frame = json.loads(data.decode("utf-8"))
+        sender = frame["s"]
+        cls = _lookup(frame["t"])
+        fields = frame["f"]
+        message = cls.__new__(cls)
+        for name in cls.fields:
+            setattr(message, name, codec.decode(fields[name]))
+        return sender, message
+    except WireCodecError:
+        raise
+    except Exception as exc:
+        raise WireCodecError(f"malformed datagram: {exc}") from exc

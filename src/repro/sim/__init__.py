@@ -1,25 +1,29 @@
 """Deterministic discrete-event simulation substrate.
 
+Compatibility façade: the kernel, process model, tracer and RNG streams
+now live in :mod:`repro.runtime` (shared with the live asyncio/UDP
+runtime — see docs/RUNTIME.md); this package re-exports them alongside
+the simulation-only pieces.
+
 Public surface:
 
-* :class:`~repro.sim.kernel.Simulator`, :class:`~repro.sim.kernel.Task`,
-  :class:`~repro.sim.kernel.Event`, :class:`~repro.sim.kernel.Signal` —
-  the virtual-time kernel.
-* :class:`~repro.sim.process.Node`,
-  :class:`~repro.sim.process.NodeComponent` — the crash-recovery process
-  model.
+* :class:`~repro.runtime.Simulator` (= ``SimRuntime``),
+  :class:`~repro.runtime.Task`, :class:`~repro.runtime.Event`,
+  :class:`~repro.runtime.Signal` — the virtual-time kernel.
+* :class:`~repro.runtime.Node`, :class:`~repro.runtime.NodeComponent` —
+  the crash-recovery process model.
 * :class:`~repro.sim.faults.FaultSchedule`,
   :class:`~repro.sim.faults.RandomFaults` — fault injection.
-* :class:`~repro.sim.rng.SeedSequence` — named seeded randomness.
+* :class:`~repro.runtime.SeedSequence` — named seeded randomness.
+* :class:`~repro.sim.realtime.RealTimeRunner` — soft real-time pacing of
+  a simulated run.
 """
 
+from repro.runtime import (AnyOf, Event, Node, NodeComponent, SeedSequence,
+                           Signal, Simulator, Task, Timer, TraceEvent, Tracer)
 from repro.sim.faults import (FaultEvent, FaultSchedule,
                               PartitionSchedule, RandomFaults)
-from repro.sim.kernel import AnyOf, Event, Signal, Simulator, Task, Timer
-from repro.sim.process import Node, NodeComponent
 from repro.sim.realtime import RealTimeRunner
-from repro.sim.rng import SeedSequence
-from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
     "AnyOf",

@@ -18,8 +18,7 @@ import random
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, \
     Tuple
 
-from repro.sim.kernel import Simulator
-from repro.sim.process import Node
+from repro.runtime import Node, Simulator
 
 if TYPE_CHECKING:  # transport sits above sim: type-only import, no cycle
     from repro.transport.network import Network

@@ -1,419 +1,17 @@
-"""Deterministic discrete-event simulation kernel.
+"""Compatibility shim: the simulation kernel moved to :mod:`repro.runtime`.
 
-This module provides the virtual-time substrate on which every protocol in
-this repository runs.  It is intentionally small and dependency-free:
-
-* :class:`Simulator` — a virtual clock plus a priority queue of callbacks.
-* :class:`Task` — a cooperative coroutine implemented as a Python
-  generator.  A task advances by ``yield``-ing *wait requests*:
-
-  - ``yield 1.5`` — sleep for 1.5 units of virtual time;
-  - ``yield event`` — block until the :class:`Event` fires, the ``yield``
-    evaluates to the event's value;
-  - ``yield other_task`` — join another task, evaluating to its result;
-  - ``yield None`` — yield the CPU and resume at the same virtual time.
-
-* :class:`Event` — a one-shot trigger carrying a value.
-* :class:`Signal` — a multi-fire broadcast used to implement the paper's
-  "wait until <condition>" statements: waiters re-check their predicate
-  each time the signal fires.
-
-Determinism: two events scheduled at the same virtual time are delivered
-in scheduling order (a monotone sequence number breaks ties), so a run is
-a pure function of the seed used by the surrounding layers.
+The runtime-agnostic primitives (``Task``, ``Event``, ``Signal``,
+``AnyOf``) live in :mod:`repro.runtime.primitives`; the deterministic
+scheduler lives in :mod:`repro.runtime.sim` as
+:class:`~repro.runtime.sim.SimRuntime` (``Simulator`` remains its
+historical alias).  This module re-exports the old surface so existing
+imports, tests and benchmarks keep working unchanged.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, \
-    Optional
-
-from repro.errors import SimulationError, TaskKilled
-
-if TYPE_CHECKING:  # kept out of runtime: the kernel stays dependency-free
-    from repro.sim.trace import Tracer
-
-__all__ = ["Simulator", "Task", "Event", "Signal", "Timer", "AnyOf"]
-
-
-class Timer:
-    """A cancellable handle for a scheduled callback."""
-
-    __slots__ = ("when", "seq", "_callback", "_args", "cancelled")
-
-    def __init__(self, when: float, seq: int, callback: Callable, args: tuple):
-        self.when = when
-        self.seq = seq
-        self._callback = callback
-        self._args = args
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        """Prevent the callback from running (no-op if it already ran)."""
-        self.cancelled = True
-        self._callback = None
-        self._args = ()
-
-    def _fire(self) -> None:
-        if not self.cancelled:
-            callback, args = self._callback, self._args
-            self.cancelled = True  # timers are one-shot
-            self._callback = None
-            self._args = ()
-            callback(*args)
-
-    def __lt__(self, other: "Timer") -> bool:
-        return (self.when, self.seq) < (other.when, other.seq)
-
-
-class Event:
-    """A one-shot trigger that tasks can wait on.
-
-    Firing an already-fired event is an error; use :class:`Signal` for
-    recurring notifications.
-    """
-
-    __slots__ = ("sim", "fired", "value", "_waiters", "name")
-
-    def __init__(self, sim: "Simulator", name: str = ""):
-        self.sim = sim
-        self.fired = False
-        self.value: Any = None
-        self._waiters: List["Task"] = []
-        self.name = name
-
-    def fire(self, value: Any = None) -> None:
-        """Trigger the event, waking every waiting task with ``value``."""
-        if self.fired:
-            raise SimulationError(f"event {self.name!r} fired twice")
-        self.fired = True
-        self.value = value
-        waiters, self._waiters = self._waiters, []
-        for task in waiters:
-            if not task.dead:
-                self.sim.call_soon(task._resume, value)
-
-    def _add_waiter(self, task: "Task") -> None:
-        if self.fired:
-            self.sim.call_soon(task._resume, self.value)
-        else:
-            self._waiters.append(task)
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "fired" if self.fired else f"{len(self._waiters)} waiters"
-        return f"<Event {self.name!r} {state}>"
-
-
-class Signal:
-    """A multi-fire broadcast: each :meth:`wait` observes the *next* fire.
-
-    This is the building block for the paper's ``wait until <predicate>``
-    statements::
-
-        while not predicate():
-            yield signal.wait()
-
-    The loop re-checks the predicate after every notification, so spurious
-    wake-ups are harmless.
-    """
-
-    __slots__ = ("sim", "_event", "name")
-
-    def __init__(self, sim: "Simulator", name: str = ""):
-        self.sim = sim
-        self.name = name
-        self._event: Optional[Event] = None
-
-    def wait(self) -> Event:
-        """Return an event that fires at the next :meth:`notify`."""
-        if self._event is None or self._event.fired:
-            self._event = Event(self.sim, name=f"signal:{self.name}")
-        return self._event
-
-    def notify(self, value: Any = None) -> None:
-        """Wake every task currently waiting on the signal."""
-        if self._event is not None and not self._event.fired:
-            event, self._event = self._event, None
-            event.fire(value)
-
-
-class AnyOf:
-    """Wait request satisfied by whichever of several events fires first.
-
-    ``yield AnyOf([e1, e2])`` evaluates to the ``(event, value)`` pair of
-    the first event to fire.  Events that fire later are ignored by this
-    waiter (but remain fired for other waiters).
-    """
-
-    __slots__ = ("events",)
-
-    def __init__(self, events: Iterable[Event]):
-        self.events = list(events)
-        if not self.events:
-            raise SimulationError("AnyOf requires at least one event")
-
-
-class Task:
-    """A cooperative coroutine driven by the simulator.
-
-    Tasks are created through :meth:`Simulator.spawn`.  A task finishes
-    when its generator returns (its ``StopIteration`` value becomes the
-    task result) and may be force-terminated with :meth:`kill`, which
-    throws :class:`~repro.errors.TaskKilled` into the generator.
-    """
-
-    __slots__ = ("sim", "gen", "name", "dead", "finished", "result",
-                 "_done_event", "_sleep_timer", "_running")
-
-    def __init__(self, sim: "Simulator", gen: Generator, name: str):
-        self.sim = sim
-        self.gen = gen
-        self.name = name
-        self.dead = False        # killed or finished: will never resume
-        self.finished = False    # ran to completion normally
-        self.result: Any = None
-        self._done_event: Optional[Event] = None
-        self._sleep_timer: Optional[Timer] = None
-        self._running = False
-
-    # -- public API ------------------------------------------------------
-
-    def kill(self) -> None:
-        """Terminate the task, unwinding ``finally`` blocks in its body."""
-        if self.dead:
-            return
-        self.dead = True
-        if self._sleep_timer is not None:
-            self._sleep_timer.cancel()
-            self._sleep_timer = None
-        if self._running:
-            # The task is killing itself from inside its own body: let the
-            # exception propagate out of the current resume step.
-            raise TaskKilled(self.name)
-        try:
-            self.gen.close()
-        except RuntimeError:  # pragma: no cover - generator already running
-            pass
-        self._finish(None)
-
-    def done_event(self) -> Event:
-        """An event fired (with the task result) when the task completes."""
-        if self._done_event is None:
-            self._done_event = Event(self.sim, name=f"done:{self.name}")
-            if self.dead:
-                self._done_event.fire(self.result)
-        return self._done_event
-
-    @property
-    def alive(self) -> bool:
-        return not self.dead
-
-    # -- kernel internals -------------------------------------------------
-
-    def _finish(self, result: Any) -> None:
-        self.dead = True
-        self.result = result
-        if self._done_event is not None and not self._done_event.fired:
-            self._done_event.fire(result)
-
-    def _resume(self, value: Any = None) -> None:
-        if self.dead:
-            return
-        self._sleep_timer = None
-        self._running = True
-        try:
-            request = self.gen.send(value)
-        except StopIteration as stop:
-            self._running = False
-            self.finished = True
-            self._finish(stop.value)
-            return
-        except TaskKilled:
-            self._running = False
-            self._finish(None)
-            return
-        finally:
-            self._running = False
-        self._wait_on(request)
-
-    def _resume_anyof(self, events: List[Event], fired: Event) -> None:
-        """Resume an AnyOf wait with the (event, value) pair that won."""
-        if self.dead:
-            return
-        self._resume((fired, fired.value))
-
-    def _wait_on(self, request: Any) -> None:
-        if self.dead:  # killed itself during the step
-            return
-        if request is None:
-            self.sim.call_soon(self._resume, None)
-        elif isinstance(request, (int, float)):
-            if request < 0:
-                raise SimulationError(
-                    f"task {self.name!r} yielded negative sleep {request}")
-            self._sleep_timer = self.sim.schedule(request, self._resume, None)
-        elif isinstance(request, Event):
-            request._add_waiter(self)
-        elif isinstance(request, Task):
-            request.done_event()._add_waiter(self)
-        elif isinstance(request, AnyOf):
-            self._add_anyof_waiter(request)
-        else:
-            raise SimulationError(
-                f"task {self.name!r} yielded unsupported request "
-                f"{request!r}; expected float, Event, Task, AnyOf or None")
-
-    def _add_anyof_waiter(self, request: AnyOf) -> None:
-        resumed = [False]
-
-        def wake(event: Event) -> None:
-            if resumed[0] or self.dead:
-                return
-            resumed[0] = True
-            self._resume((event, event.value))
-
-        for event in request.events:
-            waiter = _AnyOfWaiter(self, event, wake)
-            event._add_waiter(waiter)  # type: ignore[arg-type]
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "dead" if self.dead else "alive"
-        return f"<Task {self.name!r} {state}>"
-
-
-class _AnyOfWaiter:
-    """Adapter letting a single task wait on several events at once."""
-
-    __slots__ = ("task", "event", "wake")
-
-    def __init__(self, task: Task, event: Event, wake: Callable):
-        self.task = task
-        self.event = event
-        self.wake = wake
-
-    @property
-    def dead(self) -> bool:
-        return self.task.dead
-
-    def _resume(self, value: Any) -> None:  # called by Event.fire
-        self.wake(self.event)
-
-
-class Simulator:
-    """The virtual-time event loop.
-
-    A simulation is a pure function of its initial configuration: ties in
-    the schedule are broken by insertion order, and all randomness in the
-    layers above flows from named seeded streams (:mod:`repro.sim.rng`).
-    """
-
-    def __init__(self) -> None:
-        self._now = 0.0
-        self._heap: List[Timer] = []
-        self._seq = 0
-        self._event_count = 0
-        # Optional structured tracer (see repro.sim.trace); instrumented
-        # layers call self.trace(...) which no-ops when unset.
-        self.tracer: Optional[Tracer] = None
-
-    def trace(self, category: str, node: int, action: str,
-              **details: Any) -> None:
-        """Record a protocol event if a tracer is attached."""
-        if self.tracer is not None:
-            self.tracer.record(self._now, category, node, action,
-                               **details)
-
-    # -- clock -------------------------------------------------------------
-
-    @property
-    def now(self) -> float:
-        """Current virtual time."""
-        return self._now
-
-    @property
-    def events_processed(self) -> int:
-        """Total callbacks executed so far (useful as a work metric)."""
-        return self._event_count
-
-    # -- scheduling ---------------------------------------------------------
-
-    def schedule(self, delay: float, callback: Callable, *args: Any) -> Timer:
-        """Run ``callback(*args)`` after ``delay`` units of virtual time."""
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay}")
-        timer = Timer(self._now + delay, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, timer)
-        return timer
-
-    def call_soon(self, callback: Callable, *args: Any) -> Timer:
-        """Run ``callback(*args)`` at the current virtual time, after the
-        currently-executing callback returns."""
-        return self.schedule(0.0, callback, *args)
-
-    def spawn(self, gen: Generator, name: str = "task") -> Task:
-        """Start a new task from a generator and schedule its first step."""
-        task = Task(self, gen, name)
-        self.call_soon(task._resume, None)
-        return task
-
-    def event(self, name: str = "") -> Event:
-        """Create a fresh one-shot event bound to this simulator."""
-        return Event(self, name)
-
-    def signal(self, name: str = "") -> Signal:
-        """Create a fresh multi-fire signal bound to this simulator."""
-        return Signal(self, name)
-
-    # -- running -------------------------------------------------------------
-
-    def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> float:
-        """Process events until the queue drains, ``until`` is reached, or
-        ``max_events`` callbacks have run.  Returns the final virtual time.
-
-        When ``until`` is given the clock is advanced to exactly ``until``
-        even if the queue drained earlier, so back-to-back ``run`` calls
-        compose predictably.
-        """
-        processed = 0
-        while self._heap:
-            timer = self._heap[0]
-            if timer.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and timer.when > until:
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            heapq.heappop(self._heap)
-            self._now = timer.when
-            self._event_count += 1
-            processed += 1
-            timer._fire()
-        if until is not None and self._now < until:
-            self._now = until
-        return self._now
-
-    def run_until_event(self, event: Event,
-                        limit: Optional[float] = None) -> Any:
-        """Run until ``event`` fires; returns its value.
-
-        Raises :class:`SimulationError` if the queue drains (or ``limit``
-        passes) without the event firing — a deadlock detector for tests.
-        """
-        while not event.fired:
-            if not self._heap or all(t.cancelled for t in self._heap):
-                raise SimulationError(
-                    f"deadlock: event {event.name!r} never fired "
-                    f"(queue drained at t={self._now})")
-            if limit is not None and self._heap[0].when > limit:
-                raise SimulationError(
-                    f"timeout: event {event.name!r} not fired by t={limit}")
-            self.run(max_events=1)
-        return event.value
-
-    def pending(self) -> int:
-        """Number of live (non-cancelled) timers in the queue."""
-        return sum(1 for t in self._heap if not t.cancelled)
+from repro.runtime.primitives import AnyOf, Event, Signal, Task
+from repro.runtime.sim import SimRuntime, Simulator, Timer
+
+__all__ = ["Simulator", "SimRuntime", "Task", "Event", "Signal", "Timer",
+           "AnyOf"]

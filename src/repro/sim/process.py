@@ -1,220 +1,14 @@
-"""Crash-recovery process (node) abstraction.
+"""Compatibility shim: the process model moved to :mod:`repro.runtime.node`.
 
-A :class:`Node` models one process of the paper's system model
-(Section 2.1):
-
-* while *up* it runs tasks at its own speed;
-* a *crash* wipes its volatile memory (tasks, message handlers, input
-  buffer) but not its stable storage;
-* a *recovery* re-runs every component's start hook — the paper's single
-  "upon initialization or recovery" entry point — so initial start and
-  recovery share one code path.
-
-Protocol layers are :class:`NodeComponent` subclasses stacked on a node.
-Components register message handlers and spawn tasks in ``on_start``;
-both are torn down automatically on crash.
+:class:`~repro.runtime.node.Node` and
+:class:`~repro.runtime.node.NodeComponent` are runtime-agnostic (they run
+on both :class:`~repro.runtime.sim.SimRuntime` and
+:class:`~repro.runtime.live.LiveRuntime`); this module re-exports them so
+existing imports keep working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
-
-from repro.errors import ProcessDown, SimulationError
-from repro.sim.kernel import Simulator, Task
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.storage.stable import StableStorage
+from repro.runtime.node import Node, NodeComponent
 
 __all__ = ["Node", "NodeComponent"]
-
-
-class NodeComponent:
-    """Base class for protocol layers stacked on a :class:`Node`.
-
-    Lifecycle hooks (all optional to override):
-
-    ``on_start()``
-        Called when the node first starts *and* after every recovery.
-        Register message handlers and spawn tasks here; rebuild volatile
-        state from stable storage.
-    ``on_crash()``
-        Called at the instant of a crash, after tasks are killed and
-        handlers cleared.  Drop volatile state here.
-    """
-
-    name = "component"
-
-    def __init__(self) -> None:
-        self.node: Optional[Node] = None
-
-    def attach(self, node: "Node") -> None:
-        """Bind the component to its node (called by ``Node.add_component``)."""
-        self.node = node
-
-    def on_start(self) -> None:
-        """Initialisation/recovery hook (paper: 'upon initialization or recovery')."""
-
-    def on_crash(self) -> None:
-        """Crash hook: volatile state must be considered lost."""
-
-
-class Node:
-    """One crash-recovery process.
-
-    Parameters
-    ----------
-    sim:
-        The owning simulator.
-    node_id:
-        Dense integer identity (``0..n-1``).
-    storage:
-        The node's stable storage; survives crashes by construction.
-    """
-
-    def __init__(self, sim: Simulator, node_id: int,
-                 storage: "StableStorage") -> None:
-        self.sim = sim
-        self.node_id = node_id
-        self.storage = storage
-        self.up = False
-        self.components: List[NodeComponent] = []
-        self._tasks: List[Task] = []
-        self._handlers: Dict[str, Callable[[Any, int], None]] = {}
-        self._started = False
-        # Statistics for the harness.
-        self.crash_count = 0
-        self.recovery_count = 0
-        self.crash_times: List[float] = []
-        self.recovery_times: List[float] = []
-        self.last_up_at = 0.0
-        self.total_uptime = 0.0
-        self.recovery_durations: List[float] = []
-        self._recovering_since: Optional[float] = None
-
-    # -- composition ---------------------------------------------------------
-
-    def add_component(self, component: NodeComponent) -> NodeComponent:
-        """Stack a protocol layer on this node (before :meth:`start`)."""
-        if self._started:
-            raise SimulationError(
-                "components must be added before the node starts")
-        component.attach(self)
-        self.components.append(component)
-        return component
-
-    def get_component(self, cls: type) -> Any:
-        """Return the first component of the given class (or raise)."""
-        for component in self.components:
-            if isinstance(component, cls):
-                return component
-        raise KeyError(f"node {self.node_id} has no component {cls.__name__}")
-
-    # -- lifecycle -------------------------------------------------------------
-
-    def start(self) -> None:
-        """Bring the node up for the first time."""
-        if self._started:
-            raise SimulationError(f"node {self.node_id} already started")
-        self._started = True
-        self.up = True
-        self.last_up_at = self.sim.now
-        self.sim.trace("node", self.node_id, "start")
-        for component in self.components:
-            component.on_start()
-
-    def crash(self) -> None:
-        """Crash the node: kill tasks, clear handlers, lose volatile state."""
-        if not self.up:
-            return
-        self.up = False
-        self.crash_count += 1
-        self.sim.trace("node", self.node_id, "crash")
-        self.crash_times.append(self.sim.now)
-        self.total_uptime += self.sim.now - self.last_up_at
-        tasks, self._tasks = self._tasks, []
-        for task in tasks:
-            task.kill()
-        self._handlers.clear()
-        for component in self.components:
-            component.on_crash()
-
-    def recover(self) -> None:
-        """Bring a crashed node back up and re-run every start hook."""
-        if self.up:
-            return
-        if not self._started:
-            raise SimulationError(f"node {self.node_id} never started")
-        self.up = True
-        self.recovery_count += 1
-        self.sim.trace("node", self.node_id, "recover")
-        self.recovery_times.append(self.sim.now)
-        self.last_up_at = self.sim.now
-        self._recovering_since = self.sim.now
-        for component in self.components:
-            component.on_start()
-        if self._recovering_since is not None:
-            self.recovery_durations.append(self.sim.now - self._recovering_since)
-            self._recovering_since = None
-
-    def mark_recovery_complete(self) -> None:
-        """Record the end of the recovery procedure (replay finished).
-
-        Components whose recovery work is asynchronous (e.g. the replay
-        loop of the Atomic Broadcast layer) call this when they are caught
-        up, so recovery-duration metrics reflect real replay time.
-        """
-        if self._recovering_since is not None:
-            self.recovery_durations.append(self.sim.now - self._recovering_since)
-            self._recovering_since = None
-
-    # -- tasks ------------------------------------------------------------------
-
-    def spawn(self, gen: Generator, name: str) -> Task:
-        """Spawn a task that is automatically killed when the node crashes."""
-        if not self.up:
-            raise ProcessDown(f"node {self.node_id} is down")
-        task = self.sim.spawn(gen, name=f"n{self.node_id}:{name}")
-        self._tasks.append(task)
-        if len(self._tasks) > 64:  # drop finished tasks opportunistically
-            self._tasks = [t for t in self._tasks if t.alive]
-        return task
-
-    # -- message dispatch --------------------------------------------------------
-
-    def register_handler(self, msg_type: str,
-                         handler: Callable[[Any, int], None]) -> None:
-        """Route incoming messages with ``msg.type == msg_type`` to ``handler``.
-
-        Handlers run atomically with respect to each other and to task
-        steps (the kernel is single-threaded), matching the paper's
-        "statements associated with message receptions are executed
-        atomically".
-        """
-        self._handlers[msg_type] = handler
-
-    def deliver(self, message: Any, sender: int) -> bool:
-        """Called by the transport when a message arrives.
-
-        Messages arriving while the node is down are lost (Section 2.1).
-        Returns ``True`` if the message was consumed.
-        """
-        if not self.up:
-            return False
-        handler = self._handlers.get(message.type)
-        if handler is None:
-            return False
-        handler(message, sender)
-        return True
-
-    # -- metrics -------------------------------------------------------------------
-
-    def uptime(self) -> float:
-        """Total virtual time this node has spent up."""
-        total = self.total_uptime
-        if self.up:
-            total += self.sim.now - self.last_up_at
-        return total
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "up" if self.up else "down"
-        return f"<Node {self.node_id} {state}>"

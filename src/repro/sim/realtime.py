@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
-from repro.sim.kernel import Simulator
+from repro.runtime.sim import Simulator
 
 __all__ = ["RealTimeRunner"]
 

@@ -1,110 +1,7 @@
-"""Structured event tracing for simulations.
-
-Attach a :class:`Tracer` to a simulator (``sim.tracer = Tracer()``) and
-the instrumented layers record what the protocol *did* — crashes,
-recoveries, round commits, checkpoints, state transfers, decisions,
-suspicion changes — each stamped with virtual time and node id.  Because
-runs are deterministic, a trace is a complete, replayable explanation of
-an execution; the harness and the CLI use it for post-mortem debugging
-and the tests use it to assert *how* an outcome was reached (e.g. "the
-late node caught up via state transfer, not replay").
-
-Tracing is strictly optional: with no tracer attached the instrumentation
-is a single attribute check per event.
-"""
+"""Compatibility shim: tracing moved to :mod:`repro.runtime.trace`."""
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Set
+from repro.runtime.trace import CATEGORIES, TraceEvent, Tracer
 
 __all__ = ["TraceEvent", "Tracer", "CATEGORIES"]
-
-CATEGORIES = (
-    "node",            # start / crash / recover
-    "round",           # an AB round committed
-    "checkpoint",      # durable checkpoint taken
-    "state-transfer",  # state message sent / adopted
-    "decision",        # a consensus instance decided
-    "fd",              # failure-detector suspicion changes
-)
-
-
-class TraceEvent(NamedTuple):
-    """One recorded protocol event."""
-
-    time: float
-    category: str
-    node: int
-    action: str
-    details: Dict[str, Any]
-
-    def format(self) -> str:
-        """One-line human-readable rendering."""
-        details = " ".join(f"{key}={value!r}"
-                           for key, value in sorted(self.details.items()))
-        return (f"[{self.time:10.4f}] n{self.node} "
-                f"{self.category}/{self.action} {details}").rstrip()
-
-
-class Tracer:
-    """Bounded in-memory event recorder.
-
-    Parameters
-    ----------
-    categories:
-        Which categories to record (default: all).
-    max_events:
-        Ring-buffer bound; the oldest events are dropped beyond it.
-    """
-
-    def __init__(self, categories: Optional[Iterable[str]] = None,
-                 max_events: int = 100_000):
-        requested = set(categories) if categories is not None \
-            else set(CATEGORIES)
-        unknown = requested - set(CATEGORIES)
-        if unknown:
-            raise ValueError(f"unknown trace categories: {sorted(unknown)}")
-        self.categories: Set[str] = requested
-        self.max_events = max_events
-        self.events: List[TraceEvent] = []
-        self.dropped = 0
-
-    def record(self, time: float, category: str, node: int, action: str,
-               **details: Any) -> None:
-        """Record one event (no-op for filtered categories)."""
-        if category not in self.categories:
-            return
-        self.events.append(TraceEvent(time, category, node, action,
-                                      details))
-        if len(self.events) > self.max_events:
-            overflow = len(self.events) - self.max_events
-            del self.events[:overflow]
-            self.dropped += overflow
-
-    # -- queries ------------------------------------------------------------
-
-    def select(self, category: Optional[str] = None,
-               node: Optional[int] = None,
-               action: Optional[str] = None) -> List[TraceEvent]:
-        """Events matching every given filter."""
-        return [event for event in self.events
-                if (category is None or event.category == category)
-                and (node is None or event.node == node)
-                and (action is None or event.action == action)]
-
-    def counts(self) -> Dict[str, int]:
-        """Events per ``category/action`` pair."""
-        return dict(Counter(f"{event.category}/{event.action}"
-                            for event in self.events))
-
-    def format_text(self, limit: Optional[int] = None) -> str:
-        """The trace (or its tail) as printable text."""
-        events = self.events if limit is None else self.events[-limit:]
-        lines = [event.format() for event in events]
-        if self.dropped:
-            lines.insert(0, f"... {self.dropped} earlier events dropped")
-        return "\n".join(lines)
-
-    def __len__(self) -> int:
-        return len(self.events)

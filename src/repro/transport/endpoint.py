@@ -17,8 +17,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Generator, Tuple
 
 from repro.errors import ProcessDown
-from repro.sim.kernel import Signal
-from repro.sim.process import NodeComponent
+from repro.runtime import NodeComponent, Signal
 from repro.transport.message import WireMessage
 from repro.transport.network import Network
 

@@ -24,8 +24,7 @@ import random  # typing only: the Network *receives* a seeded stream
 from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.kernel import Simulator
-from repro.sim.process import Node
+from repro.runtime import Node, Runtime
 from repro.sizing import estimate_size
 from repro.transport.message import WireMessage
 
@@ -98,7 +97,7 @@ class NetworkMetrics:
 class Network:
     """The shared medium connecting every node of a simulation."""
 
-    def __init__(self, sim: Simulator, rng: random.Random,
+    def __init__(self, sim: Runtime, rng: random.Random,
                  config: Optional[NetworkConfig] = None):
         self.sim = sim
         self.rng = rng

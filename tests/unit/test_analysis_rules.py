@@ -518,6 +518,68 @@ def test_cli_lint_json_format(tmp_path, capsys):
     assert payload["violations"] == 1
 
 
+def test_runtime_sim_inside_det_scope():
+    findings = check("""
+        import time
+
+        def stamp():
+            return time.time()
+    """, module="repro.runtime.sim")
+    assert rule_ids(findings) == ["DET001"]
+
+
+def test_runtime_primitives_inside_det_scope():
+    findings = check("""
+        import os
+
+        def token():
+            return os.urandom(8)
+    """, module="repro.runtime.primitives")
+    assert rule_ids(findings) == ["DET003"]
+
+
+@pytest.mark.parametrize("module", ["repro.runtime.live",
+                                    "repro.runtime.live_net"])
+def test_live_runtime_excluded_from_det_rules(module):
+    # The exclusion is scope configuration (LIVE_RUNTIME_EXCLUDE), not a
+    # noqa comment: the live runtime legitimately reads the wall clock.
+    findings = check("""
+        import time
+        import os
+
+        def now():
+            return time.monotonic() + len(os.urandom(4))
+    """, module=module)
+    assert findings == []
+
+
+def test_exclude_glob_matches_prefix_only():
+    class GlobRule(Rule):
+        id = "TST1"
+        scope = ("repro.runtime",)
+        exclude = ("repro.runtime.live*",)
+
+    rule = GlobRule()
+    assert rule.applies_to("repro.runtime.sim")
+    assert rule.applies_to("repro.runtime.primitives")
+    assert not rule.applies_to("repro.runtime.live")
+    assert not rule.applies_to("repro.runtime.live_net")
+    assert not rule.applies_to("repro.runtime.live.sub")
+    assert rule.applies_to("repro.runtime")  # the package root itself
+
+
+def test_exclude_plain_name_covers_submodules_not_siblings():
+    class PlainRule(Rule):
+        id = "TST2"
+        exclude = ("repro.runtime.live",)
+
+    rule = PlainRule()  # scope None: applies everywhere except excluded
+    assert not rule.applies_to("repro.runtime.live")
+    assert not rule.applies_to("repro.runtime.live.sub")
+    assert rule.applies_to("repro.runtime.live_net")  # sibling, not child
+    assert rule.applies_to("repro.runtime.sim")
+
+
 def test_cli_list_rules(capsys):
     status = cli_main(["lint", "--list-rules"])
     assert status == 0

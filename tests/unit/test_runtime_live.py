@@ -1,0 +1,150 @@
+"""Unit tests for the live runtime substrate.
+
+The integration contract (same totally-ordered stream as the simulator,
+crash/recovery over real files) lives in
+tests/integration/test_runtime_conformance.py; here we pin down the
+building blocks in isolation: the UDP wire codec, the asyncio-backed
+implementation of the ``Runtime`` interface, and error capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ids import MessageId
+from repro.core.messages import AppMessage, GossipMessage, StateMessage
+from repro.errors import SimulationError
+from repro.runtime import AnyOf
+from repro.runtime.live import LiveRuntime
+from repro.runtime.wire import WireCodecError, decode, encode
+
+
+@pytest.fixture
+def runtime():
+    rt = LiveRuntime(seed=3)
+    yield rt
+    rt.close()
+
+
+# ---------------------------------------------------------------- wire codec
+
+def test_wire_roundtrip_gossip():
+    unordered = frozenset({
+        AppMessage(MessageId(0, 1, 4), "alpha"),
+        AppMessage(MessageId(2, 1, 9), ("tuple", 7)),
+    })
+    sender, message = decode(encode(1, GossipMessage(5, unordered, ckpt_k=2)))
+    assert sender == 1
+    assert isinstance(message, GossipMessage)
+    assert (message.k, message.ckpt_k) == (5, 2)
+    assert message.unordered == unordered
+    assert isinstance(message.unordered, frozenset)
+    by_id = {m.id: m.payload for m in message.unordered}
+    assert by_id[MessageId(2, 1, 9)] == ("tuple", 7)
+
+
+def test_wire_roundtrip_state():
+    plain = [3, [[[0, 1, 2], "x"], [[1, 1, 5], "y"]]]
+    sender, message = decode(encode(0, StateMessage(3, plain)))
+    assert sender == 0
+    assert isinstance(message, StateMessage)
+    assert message.agreed_plain == plain
+
+
+def test_wire_rejects_garbage_and_unknown_tags():
+    with pytest.raises(WireCodecError):
+        decode(b"\xff\x00 not json")
+    with pytest.raises(WireCodecError):
+        decode(b'{"s": 0, "t": "no.such.tag", "f": {}}')
+
+
+def test_wire_duplicate_tag_is_ambiguous_not_fatal():
+    """Throwaway test message classes elsewhere in the suite may collide
+    on a tag; that must only poison *that* tag, not the whole registry."""
+    from repro.transport.message import WireMessage
+
+    class DupA(WireMessage):
+        type = "test.wire.dup"
+        fields = ()
+
+    class DupB(WireMessage):
+        type = "test.wire.dup"
+        fields = ()
+
+    with pytest.raises(WireCodecError, match="ambiguous"):
+        decode(b'{"s": 0, "t": "test.wire.dup", "f": {}}')
+    # Protocol tags keep working despite the collision.
+    sender, message = decode(encode(4, StateMessage(1, [])))
+    assert (sender, message.k) == (4, 1)
+
+
+# --------------------------------------------------------------- LiveRuntime
+
+def test_timers_fire_in_delay_order(runtime):
+    fired = []
+    runtime.schedule(0.02, fired.append, "late")
+    runtime.schedule(0.0, fired.append, "soon")
+    runtime.call_soon(fired.append, "first")
+    runtime.run_for(0.1)
+    assert fired == ["first", "soon", "late"]
+    assert runtime.events_processed >= 3
+
+
+def test_negative_delay_rejected(runtime):
+    with pytest.raises(SimulationError):
+        runtime.schedule(-0.5, lambda: None)
+
+
+def test_cancelled_timer_does_not_fire(runtime):
+    fired = []
+    handle = runtime.schedule(0.01, fired.append, "cancelled")
+    handle.cancel()
+    runtime.run_for(0.05)
+    assert fired == []
+
+
+def test_generator_tasks_run_on_asyncio(runtime):
+    """sleep / event-wait / AnyOf / join — the whole yield protocol."""
+    log = []
+    gate = runtime.event("gate")
+
+    def helper():
+        yield 0.01
+        log.append("helper-slept")
+        yield gate
+        log.append("helper-gated")
+
+    def main():
+        child = runtime.spawn(helper(), name="helper")
+        winner = yield AnyOf([runtime.event("never"), child.done_event()])
+        del winner
+        log.append("helper-joined")
+
+    runtime.call_soon(gate.fire)
+    runtime.spawn(main(), name="main")
+    runtime.run_for(0.1)
+    runtime.check_errors()
+    assert log == ["helper-slept", "helper-gated", "helper-joined"]
+
+
+def test_rng_streams_are_seed_deterministic():
+    a = LiveRuntime(seed=9)
+    b = LiveRuntime(seed=9)
+    try:
+        draws_a = [a.rng("net.loss").random() for _ in range(5)]
+        draws_b = [b.rng("net.loss").random() for _ in range(5)]
+        assert draws_a == draws_b
+    finally:
+        a.close()
+        b.close()
+
+
+def test_callback_errors_are_captured_and_reraised(runtime):
+    def boom():
+        raise ValueError("kaput")
+
+    runtime.call_soon(boom)
+    runtime.run_for(0.02)
+    assert runtime.errors
+    with pytest.raises(SimulationError, match="kaput"):
+        runtime.check_errors()
