@@ -36,6 +36,10 @@ from repro.analysis.registry import Rule
 
 __all__ = ["WAL_RULES", "VOLATILE_DECLARATION"]
 
+#: Receiver-name tokens that identify a raw transport medium (WAL002).
+_RAW_MEDIUM_TOKENS = frozenset({"network", "medium", "transport", "channel",
+                                "link", "net"})
+
 #: Class attribute the rule reads to learn a class's volatile mirrors.
 VOLATILE_DECLARATION = "VOLATILE_FIELDS"
 
@@ -230,4 +234,42 @@ class WriteAheadSendRule(Rule):
             yield findings[position]
 
 
-WAL_RULES = (WriteAheadSendRule(),)
+class DirectTransportSendRule(Rule):
+    """WAL002: protocol code must send through its Endpoint component."""
+
+    id = "WAL002"
+    name = "no-raw-transport-send"
+    summary = ("a protocol module calls send/multisend directly on a "
+               "transport medium instead of going through its Endpoint")
+    rationale = ("The endpoint sits above whatever TransportMedium the "
+                 "harness wired in — in particular the stubborn channel "
+                 "layer that turns the paper's fair-lossy links into "
+                 "reliable ones via ack/retransmit.  A protocol that grabs "
+                 "the raw medium (node.network.send(...)) silently opts "
+                 "out of retransmission, so one dropped datagram becomes "
+                 "a protocol-level message loss the verifier cannot "
+                 "explain.")
+    scope = ("repro.core", "repro.consensus", "repro.quorum",
+             "repro.multigroup", "repro.fdetect", "repro.apps",
+             "repro.baselines")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = _attr_path(node.func)
+            if len(path) < 2 or path[-1] not in _SEND_OPS:
+                continue
+            receiver = path[:-1]
+            if "endpoint" in receiver[-1]:
+                continue  # the sanctioned path
+            if any(token in part for part in receiver
+                   for token in _RAW_MEDIUM_TOKENS):
+                yield ctx.finding(
+                    self.id, node,
+                    f"direct {'.'.join(path)}(...) bypasses the endpoint "
+                    f"(and any stubborn-channel layer beneath it); send "
+                    f"through the node's Endpoint component instead")
+
+
+WAL_RULES = (WriteAheadSendRule(), DirectTransportSendRule())

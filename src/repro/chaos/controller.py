@@ -1,0 +1,269 @@
+"""Chaos controllers: apply a fault timeline to a running cluster.
+
+A controller owns one built cluster and replays a sorted list of
+:class:`~repro.chaos.events.ChaosEvent` against it: advance the clock to
+the event's instant, apply it, repeat.  Both runtimes share the event
+vocabulary; what differs is how the clock advances (virtual ``sim.run``
+versus real ``run_for``) and which faults are expressible (the link
+matrix and disk faults exist on the simulator, clock skew on the live
+runtime).
+
+Disk faults are the interesting case: applying a ``torn_write`` event
+only *arms* the victim's :class:`~repro.storage.faulty.FaultyStorage`;
+the fault fires later, inside whatever ``log`` call the victim makes
+next, and surfaces as an :class:`~repro.storage.faulty.InjectedCrashFault`
+unwinding out of ``sim.run`` (the kernel executes exactly one node's
+callback at a time, so only the victim's step is torn).  The controller
+catches it, crashes the victim — volatile state gone, the torn record on
+"disk" — schedules the recovery, and resumes the clock.  This is a
+faithful power-cut-mid-write, which is precisely the scenario the
+paper's ``log``-before-``send`` discipline exists for.
+
+After the timeline, :meth:`finish` restores a fair world (heal
+partitions, base loss, disarm disk faults, recover everyone), settles,
+and hands the cluster to :func:`~repro.harness.verify.verify_run`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chaos.events import ChaosEvent
+from repro.chaos.inject import cut_off
+from repro.errors import SimulationError
+from repro.harness.verify import VerificationReport, verify_run
+from repro.storage.faulty import FaultyStorage, InjectedCrashFault
+
+__all__ = ["LiveChaosController", "SimChaosController"]
+
+
+class _BaseController:
+    """Shared timeline-replay loop (clock advancement is per-runtime)."""
+
+    def __init__(self, cluster: Any, base_loss: float):
+        self.cluster = cluster
+        self.base_loss = base_loss
+        # Every event actually applied, including dynamic ones (disk-fault
+        # crashes, submit redirections): the reproducible ground truth.
+        self.applied: List[ChaosEvent] = []
+        self.fault_counts: Dict[str, int] = {}
+        self._heap: List[Tuple[float, int, ChaosEvent]] = []
+        self._serial = 0
+
+    # -- timeline ------------------------------------------------------------
+
+    def push(self, event: ChaosEvent) -> None:
+        heapq.heappush(self._heap, (event.time, self._serial, event))
+        self._serial += 1
+
+    def run_timeline(self, events: List[ChaosEvent], horizon: float) -> None:
+        """Advance-apply until the timeline (and the horizon) is spent."""
+        for event in events:
+            self.push(event)
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            self.advance(event.time)
+            try:
+                self.apply(event)
+            except InjectedCrashFault as fault:
+                # An armed disk fault fired inside a synchronous apply
+                # (a recovery replay's first log, a submission's
+                # write-ahead): same crash semantics as firing mid-run.
+                self.on_injected_fault(fault)
+        self.advance(horizon)
+
+    def record(self, event: ChaosEvent, count_as: Optional[str] = None) -> None:
+        self.applied.append(event)
+        kind = count_as or event.kind
+        if kind != "submit":
+            self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+
+    # -- event application ----------------------------------------------------
+
+    def apply(self, event: ChaosEvent) -> None:
+        handler = getattr(self, f"_apply_{event.kind}", None)
+        if handler is None:
+            raise SimulationError(
+                f"{type(self).__name__} cannot apply {event.kind!r}")
+        handler(event)
+
+    def _apply_submit(self, event: ChaosEvent) -> None:
+        target = event.node
+        if target is None or not self.cluster.nodes[target].up:
+            up = [nid for nid, node in self.cluster.nodes.items() if node.up]
+            if not up:
+                return  # whole cluster down: the submission never happens
+            target = min(up)
+        self.cluster.submit(target, event.args["payload"])
+        self.record(ChaosEvent(self.now, "submit", node=target,
+                               payload=event.args["payload"]))
+
+    # -- runtime-specific hooks ------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def advance(self, until: float) -> None:
+        raise NotImplementedError
+
+    def on_injected_fault(self, fault: InjectedCrashFault) -> None:
+        raise fault  # only the simulator injects disk faults
+
+    def finish(self, settle_limit: float) -> VerificationReport:
+        raise NotImplementedError
+
+
+class SimChaosController(_BaseController):
+    """Timeline replay against a simulated :class:`~repro.harness.cluster.Cluster`."""
+
+    runtime_name = "sim"
+
+    def __init__(self, cluster: Any, base_loss: float):
+        super().__init__(cluster, base_loss)
+        self._disk_downtimes: Dict[int, float] = {}
+
+    @property
+    def now(self) -> float:
+        return self.cluster.sim.now
+
+    def advance(self, until: float) -> None:
+        sim = self.cluster.sim
+        while sim.now < until:
+            try:
+                sim.run(until=until)
+            except InjectedCrashFault as fault:
+                self.on_injected_fault(fault)
+
+    def on_injected_fault(self, fault: InjectedCrashFault) -> None:
+        victim = fault.node_hint
+        assert victim is not None
+        node = self.cluster.nodes[victim]
+        if node.up:
+            node.crash()
+        self.record(ChaosEvent(self.now, "crash", node=victim,
+                               cause=fault.mode, key=fault.path),
+                    count_as="disk_crash")
+        downtime = self._disk_downtimes.pop(victim, 1.0)
+        self.push(ChaosEvent(self.now + downtime, "recover", node=victim))
+
+    # -- event handlers --------------------------------------------------------
+
+    def _apply_crash(self, event: ChaosEvent) -> None:
+        node = self.cluster.nodes[event.node]
+        if node.up:
+            node.crash()
+            self.record(event)
+
+    def _apply_recover(self, event: ChaosEvent) -> None:
+        node = self.cluster.nodes[event.node]
+        if not node.up:
+            node.recover()
+            self.record(event)
+
+    def _apply_partition(self, event: ChaosEvent) -> None:
+        cut_off(self.cluster.network, tuple(event.args["isolated"]))
+        self.record(event)
+
+    def _apply_heal_all(self, event: ChaosEvent) -> None:
+        self.cluster.network.heal_all()
+        self.record(event)
+
+    def _apply_loss(self, event: ChaosEvent) -> None:
+        self.cluster.network.config.loss_rate = event.args["rate"]
+        self.record(event)
+
+    def _apply_loss_restore(self, event: ChaosEvent) -> None:
+        self.cluster.network.config.loss_rate = self.base_loss
+        self.record(event)
+
+    def _apply_torn_write(self, event: ChaosEvent) -> None:
+        storage = self.cluster.nodes[event.node].storage
+        if not isinstance(storage, FaultyStorage):
+            return  # scenario built without fault-injection storage
+        storage.arm_crash_write(event.args.get("mode", "torn"))
+        self._disk_downtimes[event.node] = event.args.get("downtime", 1.0)
+        self.record(event)
+
+    # -- finish ---------------------------------------------------------------
+
+    def finish(self, settle_limit: float) -> VerificationReport:
+        """Restore a fair world, settle, verify."""
+        for node in self.cluster.nodes.values():
+            if isinstance(node.storage, FaultyStorage):
+                node.storage.disarm()
+        self.cluster.network.heal_all()
+        self.cluster.network.config.loss_rate = self.base_loss
+        self.advance(self.now + 0.5)  # drain armed faults' last writes
+        for node in self.cluster.nodes.values():
+            if not node.up:
+                node.recover()
+        settled = self.cluster.settle(limit=self.now + settle_limit)
+        if not settled:
+            raise SimulationError(
+                f"cluster failed to settle within {settle_limit} after "
+                f"the chaos timeline (termination suspect)")
+        return verify_run(self.cluster)
+
+
+class LiveChaosController(_BaseController):
+    """Timeline replay against a :class:`~repro.harness.live.LiveCluster`.
+
+    Runs in real time; crash/recover events kill the node's socket and
+    storage handle and restart over the surviving files, loss events
+    mutate the UDP injection rate, and clock jumps skew the runtime's
+    epoch.  Partition and disk-fault events are simulator-only and are
+    rejected here (the nemesis battery never plans them for ``live``).
+    """
+
+    runtime_name = "live"
+
+    @property
+    def now(self) -> float:
+        return self.cluster.runtime.now
+
+    def advance(self, until: float) -> None:
+        remaining = until - self.now
+        if remaining > 0:
+            self.cluster.run_for(remaining)
+        self.cluster.runtime.check_errors()
+
+    # -- event handlers --------------------------------------------------------
+
+    def _apply_crash(self, event: ChaosEvent) -> None:
+        if self.cluster.nodes[event.node].up:
+            self.cluster.kill(event.node)
+            self.record(event)
+
+    def _apply_recover(self, event: ChaosEvent) -> None:
+        if not self.cluster.nodes[event.node].up:
+            self.cluster.restart(event.node)
+            self.record(event)
+
+    def _apply_loss(self, event: ChaosEvent) -> None:
+        self.cluster.network.loss_rate = event.args["rate"]
+        self.record(event)
+
+    def _apply_loss_restore(self, event: ChaosEvent) -> None:
+        self.cluster.network.loss_rate = self.base_loss
+        self.record(event)
+
+    def _apply_clock_jump(self, event: ChaosEvent) -> None:
+        self.cluster.runtime.jump_clock(event.args["delta"])
+        self.record(event)
+
+    # -- finish ---------------------------------------------------------------
+
+    def finish(self, settle_limit: float) -> VerificationReport:
+        self.cluster.network.loss_rate = self.base_loss
+        for node_id, node in sorted(self.cluster.nodes.items()):
+            if not node.up:
+                self.cluster.restart(node_id)
+        settled = self.cluster.settle(limit=settle_limit)
+        self.cluster.runtime.check_errors()
+        if not settled:
+            raise SimulationError(
+                f"live cluster failed to settle within {settle_limit}s "
+                f"after the chaos timeline (termination suspect)")
+        return verify_run(self.cluster)

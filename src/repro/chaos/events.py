@@ -1,0 +1,56 @@
+"""The chaos timeline vocabulary.
+
+A scenario is a list of :class:`ChaosEvent` records sorted by time; the
+controller applies each one to the running cluster when the clock
+reaches it.  Events are plain data — building a timeline performs no
+side effects — so a scenario can be printed, compared and replayed
+verbatim, which is what makes failing seeds reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ChaosEvent", "format_timeline", "KINDS"]
+
+# Every kind the controllers understand.  ``crash``/``recover`` act on
+# one node; ``partition``/``heal_all`` on the link matrix; ``loss``
+# mutates the channel loss rate (``loss_restore`` returns to the
+# scenario's base rate); ``torn_write`` arms a one-shot disk fault that
+# crashes its victim mid-log; ``clock_jump`` skews the live runtime's
+# clock; ``submit`` A-broadcasts a payload (redirected to an up node if
+# the chosen one is down).
+KINDS = ("crash", "recover", "partition", "heal_all", "loss",
+         "loss_restore", "torn_write", "clock_jump", "submit")
+
+
+class ChaosEvent:
+    """One planned (or dynamically injected) fault-timeline entry."""
+
+    __slots__ = ("time", "kind", "node", "args")
+
+    def __init__(self, time: float, kind: str, node: Optional[int] = None,
+                 **args: Any):
+        if kind not in KINDS:
+            raise ValueError(f"unknown chaos event kind {kind!r}")
+        self.time = time
+        self.kind = kind
+        self.node = node
+        self.args: Dict[str, Any] = args
+
+    def describe(self) -> str:
+        """One canonical human-readable timeline line."""
+        parts = [f"t={self.time:7.3f}", self.kind]
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        for key in sorted(self.args):
+            parts.append(f"{key}={self.args[key]!r}")
+        return "  ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ChaosEvent {self.describe()}>"
+
+
+def format_timeline(events: List[ChaosEvent]) -> str:
+    """Render a timeline, one event per line, in application order."""
+    return "\n".join(event.describe() for event in events)

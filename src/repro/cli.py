@@ -82,6 +82,26 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--rate", type=float, default=2.0)
     compare.add_argument("--duration", type=float, default=10.0)
 
+    chaos = commands.add_parser(
+        "chaos", help="seeded random fault-scenario exploration: every "
+                      "run is verified against the paper's invariants "
+                      "and every failure reproduces from its seed")
+    chaos.add_argument("--seeds", type=int, default=25,
+                       help="number of seeds to explore")
+    chaos.add_argument("--runtime", choices=["sim", "live"], default="sim",
+                       help="sim: virtual-time scenarios with partitions "
+                            "and disk faults; live: real asyncio/UDP/file "
+                            "runs with kills, loss bursts and clock skew")
+    chaos.add_argument("--master-seed", type=int, default=0,
+                       help="namespace for the per-seed derivations")
+    chaos.add_argument("--horizon", type=float, default=8.0,
+                       help="scenario length (virtual or wall seconds)")
+    chaos.add_argument("--reproduce", type=int, default=None, metavar="SEED",
+                       help="re-run one seed with its exact fault "
+                            "timeline printed")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="print failing seeds only")
+
     lint = commands.add_parser(
         "lint", help="protocol-aware static analysis (determinism, "
                      "write-ahead-logging, sim-coroutine rules)")
@@ -257,6 +277,31 @@ def _run(args) -> int:
     return 0
 
 
+def _chaos(args) -> int:
+    from repro.chaos.engine import ChaosConfig, explore, reproduce
+    config = ChaosConfig(seeds=args.seeds, runtime=args.runtime,
+                         master_seed=args.master_seed,
+                         horizon=args.horizon)
+    if args.runtime == "live":
+        # Real seconds per scenario: keep the per-seed cost bounded.
+        config.settle_limit = 30.0
+        config.n_choices = (3,)
+    if args.reproduce is not None:
+        result = reproduce(config, args.reproduce)
+        return 0 if result.ok else 1
+    emit = None if args.quiet else print
+    report = explore(config, emit=emit)
+    totals = ", ".join(f"{key}={value}"
+                       for key, value in sorted(report.totals().items()))
+    print(f"\n{len(report.results)} seeds, "
+          f"{len(report.failures)} failures  ({totals})")
+    for failure in report.failures:
+        print(f"  reproduce with: repro chaos --runtime {args.runtime} "
+              f"--master-seed {args.master_seed} "
+              f"--horizon {args.horizon} --reproduce {failure.seed}")
+    return 0 if report.ok else 1
+
+
 def _compare(args) -> int:
     rows = []
     for protocol in PROTOCOLS:
@@ -310,6 +355,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _run(args)
+        if args.command == "chaos":
+            return _chaos(args)
         if args.command == "compare":
             return _compare(args)
         if args.command == "lint":

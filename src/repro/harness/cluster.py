@@ -44,6 +44,7 @@ from repro.runtime import Node, SeedSequence, Simulator
 from repro.storage.memory import MemoryStorage
 from repro.transport.endpoint import Endpoint
 from repro.transport.network import Network, NetworkConfig
+from repro.transport.stubborn import StubbornChannel, StubbornConfig
 
 __all__ = ["Cluster", "ClusterConfig", "PROTOCOLS", "build_node_stack",
            "stack_settled"]
@@ -66,7 +67,8 @@ class ClusterConfig:
                  fd_period: float = 0.5,
                  fd_timeout: float = 2.0,
                  sequencer_id: int = 0,
-                 storage_factory: Callable[[int], Any] = None):
+                 storage_factory: Callable[[int], Any] = None,
+                 stubborn: Any = None):
         if protocol not in PROTOCOLS:
             raise SimulationError(
                 f"unknown protocol {protocol!r}; pick one of {PROTOCOLS}")
@@ -87,6 +89,26 @@ class ClusterConfig:
         # in-memory simulation backend.
         self.storage_factory = storage_factory or \
             (lambda node_id: MemoryStorage())
+        # stubborn: None = runtime default (off on the simulator, whose
+        # Network already models the paper's fair-loss channel the
+        # protocols are written against; on for the live UDP runtime),
+        # False = force off, True or a StubbornConfig = force on.
+        self.stubborn = stubborn
+
+    def resolve_stubborn(self, default_on: bool) -> Optional[StubbornConfig]:
+        """The effective stubborn-channel config for a runtime, or None."""
+        setting = self.stubborn
+        if setting is None:
+            setting = default_on
+        if setting is False:
+            return None
+        if setting is True:
+            return StubbornConfig()
+        if isinstance(setting, StubbornConfig):
+            return setting
+        raise SimulationError(
+            f"stubborn must be None, a bool or a StubbornConfig; "
+            f"got {setting!r}")
 
 
 def build_node_stack(sim: Any, network: Any, config: ClusterConfig,
@@ -182,6 +204,14 @@ class Cluster:
         self.seeds = SeedSequence(config.seed)
         self.network = Network(self.sim, self.seeds.stream("network"),
                                config.network)
+        stubborn_config = config.resolve_stubborn(default_on=False)
+        self.stubborn: Optional[StubbornChannel] = None
+        self.medium: Any = self.network
+        if stubborn_config is not None:
+            self.stubborn = StubbornChannel(
+                self.sim, self.network, stubborn_config,
+                rng=self.seeds.stream("stubborn"))
+            self.medium = self.stubborn
         self.collector = MetricsCollector()
         self.nodes: Dict[int, Node] = {}
         self.abcasts: Dict[int, Any] = {}
@@ -195,7 +225,7 @@ class Cluster:
     def _build_node(self, node_id: int) -> None:
         config = self.config
         node, abcast, consensus, rsm = build_node_stack(
-            self.sim, self.network, config, self.collector, node_id,
+            self.sim, self.medium, config, self.collector, node_id,
             config.storage_factory(node_id))
         if consensus is not None:
             self.consensuses[node_id] = consensus
@@ -282,4 +312,6 @@ class Cluster:
             storage_residency=residency,
             network=self.network.metrics.snapshot(),
             node_stats=node_stats,
+            stubborn=(self.stubborn.metrics.snapshot()
+                      if self.stubborn is not None else None),
         )

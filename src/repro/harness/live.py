@@ -39,6 +39,7 @@ from repro.runtime import Node
 from repro.runtime.live import LiveRuntime
 from repro.runtime.live_net import LiveNetwork
 from repro.storage.file import FileStorage
+from repro.transport.stubborn import StubbornChannel
 
 __all__ = ["LiveCluster"]
 
@@ -69,6 +70,16 @@ class LiveCluster:
             self.runtime.rng("network"),
             loss_rate=config.network.loss_rate,
             duplicate_rate=config.network.duplicate_rate)
+        # UDP is a real fair-loss channel, so the stubborn retransmission
+        # layer is on by default here (config.stubborn=False disables it).
+        stubborn_config = config.resolve_stubborn(default_on=True)
+        self.stubborn = None
+        self.medium: Any = self.network
+        if stubborn_config is not None:
+            self.stubborn = StubbornChannel(
+                self.runtime, self.network, stubborn_config,
+                rng=self.runtime.rng("stubborn"))
+            self.medium = self.stubborn
         self.collector = MetricsCollector()
         self.nodes: Dict[int, Node] = {}
         self.abcasts: Dict[int, Any] = {}
@@ -77,7 +88,7 @@ class LiveCluster:
         self._started = False
         for node_id in range(config.n):
             node, abcast, consensus, rsm = build_node_stack(
-                self.runtime, self.network, config, self.collector,
+                self.runtime, self.medium, config, self.collector,
                 node_id, FileStorage(self._node_dir(node_id)))
             if consensus is not None:
                 self.consensuses[node_id] = consensus

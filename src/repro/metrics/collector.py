@@ -97,7 +97,9 @@ class RunMetrics:
                  storage_prefix_bytes: Dict[int, Dict[str, int]],
                  storage_residency: Dict[int, int],
                  network: Dict[str, int],
-                 node_stats: Dict[int, Dict[str, Any]]):
+                 node_stats: Dict[int, Dict[str, Any]],
+                 stubborn: Optional[Dict[str, int]] = None,
+                 faults_injected: Optional[Dict[str, int]] = None):
         self.duration = duration
         self.collector = collector
         self.storage_by_node = storage_by_node
@@ -106,6 +108,12 @@ class RunMetrics:
         self.storage_residency = storage_residency
         self.network = network
         self.node_stats = node_stats
+        # Retransmission counters of the stubborn channel, when one was
+        # stacked on the medium (None otherwise).
+        self.stubborn = stubborn
+        # Fault-injection counters from the chaos engine (None outside
+        # chaos runs).
+        self.faults_injected = faults_injected
 
     # -- headline numbers ---------------------------------------------------------
 
@@ -135,6 +143,29 @@ class RunMetrics:
     def total_bytes_logged(self) -> int:
         """Durable bytes written across all nodes."""
         return sum(s["bytes_logged"] for s in self.storage_by_node.values())
+
+    def total_retransmissions(self) -> int:
+        """Stubborn-channel retransmissions (0 without the layer)."""
+        if not self.stubborn:
+            return 0
+        return self.stubborn.get("retransmissions", 0)
+
+    def total_acks(self) -> int:
+        """Stubborn-channel acknowledgements received (0 without the layer)."""
+        if not self.stubborn:
+            return 0
+        return self.stubborn.get("acks_received", 0)
+
+    def total_quarantined(self) -> int:
+        """Corrupt stored records detected and quarantined across nodes."""
+        return sum(s.get("quarantined", 0)
+                   for s in self.storage_by_node.values())
+
+    def total_faults_injected(self) -> int:
+        """Faults the chaos engine injected into this run (0 outside chaos)."""
+        if not self.faults_injected:
+            return 0
+        return sum(self.faults_injected.values())
 
     def log_ops_by_prefix(self) -> Dict[str, int]:
         """Durable writes per storage-key prefix, summed over nodes."""

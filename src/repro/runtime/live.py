@@ -84,6 +84,19 @@ class LiveRuntime(Runtime):
         """Seconds of wall-clock time since this runtime was created."""
         return self.loop.time() - self._epoch
 
+    def jump_clock(self, delta: float) -> None:
+        """Skew the runtime clock ``delta`` seconds forward.
+
+        Models an NTP step or a VM pause: already-armed timers keep
+        their real delays, but every reader of :attr:`now` — adaptive
+        failure-detector timeouts above all — sees time leap.  Used by
+        the chaos engine's clock-jump nemesis; the protocols must
+        tolerate it because the paper's model is fully asynchronous.
+        """
+        if delta < 0:
+            raise SimulationError(f"clock can only jump forward, not {delta}")
+        self._epoch -= delta
+
     @property
     def events_processed(self) -> int:
         """Total callbacks executed so far (useful as a work metric)."""

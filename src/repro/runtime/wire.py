@@ -27,7 +27,7 @@ from repro.errors import ReproError
 from repro.storage import codec
 from repro.transport.message import WireMessage
 
-__all__ = ["encode", "decode", "WireCodecError"]
+__all__ = ["encode", "decode", "rebuild", "WireCodecError"]
 
 
 class WireCodecError(ReproError):
@@ -82,16 +82,35 @@ def _lookup(tag: str) -> Type[WireMessage]:
     return cls
 
 
+def rebuild(tag: str, field_values: Dict[str, object]) -> WireMessage:
+    """Reconstruct a message structurally from its tag and field values.
+
+    ``field_values`` holds already-decoded Python objects (not codec
+    strings); the instance is rebuilt the same way :func:`decode` builds
+    one, so no constructor discipline is imposed on message classes.
+    Layers that tunnel one message inside another (the stubborn channel's
+    data envelope) use this to unwrap the inner message on arrival.
+    """
+    cls = _lookup(tag)
+    message = cls.__new__(cls)
+    for name in cls.fields:
+        try:
+            setattr(message, name, field_values[name])
+        except KeyError as exc:
+            raise WireCodecError(
+                f"message {tag!r} missing field {name!r}") from exc
+    return message
+
+
 def decode(data: bytes) -> Tuple[int, WireMessage]:
     """Deserialise a datagram back into ``(sender id, message)``."""
     try:
         frame = json.loads(data.decode("utf-8"))
         sender = frame["s"]
-        cls = _lookup(frame["t"])
         fields = frame["f"]
-        message = cls.__new__(cls)
-        for name in cls.fields:
-            setattr(message, name, codec.decode(fields[name]))
+        message = rebuild(frame["t"],
+                          {name: codec.decode(value)
+                           for name, value in fields.items()})
         return sender, message
     except WireCodecError:
         raise

@@ -1,6 +1,10 @@
 """Fault injection: crash/recover schedules for crash-recovery runs.
 
-Two injectors are provided:
+The actual fault mechanics — scheduling crash/recover timelines,
+cutting the link matrix, seeded random crash-recovery arming — live in
+:mod:`repro.chaos.inject`, shared with the chaos engine's controllers.
+This module keeps the schedule-building front-ends the benchmarks and
+targeted tests are written against:
 
 * :class:`FaultSchedule` — an explicit, hand-written timeline of crash and
   recover events (used by targeted tests and recovery benchmarks).
@@ -14,10 +18,10 @@ Two injectors are provided:
 
 from __future__ import annotations
 
-import random
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, \
-    Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
 
+from repro.chaos.inject import (FaultEvent, RandomCrashRecover, cut_off,
+                                install_timeline, rejoin)
 from repro.runtime import Node, Simulator
 
 if TYPE_CHECKING:  # transport sits above sim: type-only import, no cycle
@@ -25,25 +29,6 @@ if TYPE_CHECKING:  # transport sits above sim: type-only import, no cycle
 
 __all__ = ["FaultEvent", "FaultSchedule", "PartitionSchedule",
            "RandomFaults"]
-
-
-class FaultEvent:
-    """One entry of an explicit fault timeline."""
-
-    __slots__ = ("time", "node_id", "action")
-
-    CRASH = "crash"
-    RECOVER = "recover"
-
-    def __init__(self, time: float, node_id: int, action: str):
-        if action not in (self.CRASH, self.RECOVER):
-            raise ValueError(f"unknown fault action {action!r}")
-        self.time = time
-        self.node_id = node_id
-        self.action = action
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"FaultEvent({self.time}, {self.node_id}, {self.action!r})"
 
 
 class FaultSchedule:
@@ -70,12 +55,7 @@ class FaultSchedule:
 
     def install(self, sim: Simulator, nodes: Dict[int, Node]) -> None:
         """Schedule every event on the simulator."""
-        for event in self.events:
-            node = nodes[event.node_id]
-            if event.action == FaultEvent.CRASH:
-                sim.schedule(event.time, node.crash)
-            else:
-                sim.schedule(event.time, node.recover)
+        install_timeline(sim, nodes, self.events)
 
 
 class PartitionSchedule:
@@ -104,96 +84,14 @@ class PartitionSchedule:
     def install(self, sim: Simulator, network: "Network") -> None:
         """Schedule the cut and heal events on the network."""
         for start, end, isolated in self._windows:
-            sim.schedule(start, self._cut, network, isolated)
-            sim.schedule(end, self._heal, network, isolated)
-
-    @staticmethod
-    def _cut(network: "Network", isolated: Tuple[int, ...]) -> None:
-        others = [n for n in network.node_ids() if n not in isolated]
-        for a in isolated:
-            for b in others:
-                network.partition(a, b)
-
-    @staticmethod
-    def _heal(network: "Network", isolated: Tuple[int, ...]) -> None:
-        others = [n for n in network.node_ids() if n not in isolated]
-        for a in isolated:
-            for b in others:
-                network.heal(a, b)
+            sim.schedule(start, cut_off, network, isolated)
+            sim.schedule(end, rejoin, network, isolated)
 
 
-class RandomFaults:
+class RandomFaults(RandomCrashRecover):
     """Seeded random crash-recovery injection.
 
-    Parameters
-    ----------
-    mttf:
-        Mean virtual time between a node coming up and its next crash
-        (exponential).
-    mttr:
-        Mean down-time before recovery (exponential).
-    stabilize_at:
-        After this instant no new crashes are injected on good nodes and
-        any down good node is recovered, so good nodes *eventually remain
-        permanently up*.
-    bad_nodes:
-        Node ids that keep oscillating past ``stabilize_at`` (paper's
-        "bad" processes).  ``bad_mode`` selects whether they oscillate
-        forever (``"oscillate"``) or crash permanently (``"die"``).
+    A thin alias over :class:`repro.chaos.inject.RandomCrashRecover`
+    (same parameters, same seeded draw order — existing benchmark
+    timelines replay bit-for-bit); see that class for the details.
     """
-
-    def __init__(self, mttf: float, mttr: float, stabilize_at: float,
-                 seed: int = 0,
-                 bad_nodes: Sequence[int] = (),
-                 bad_mode: str = "oscillate",
-                 max_faults_per_node: Optional[int] = None):
-        if bad_mode not in ("oscillate", "die"):
-            raise ValueError(f"unknown bad_mode {bad_mode!r}")
-        self.mttf = mttf
-        self.mttr = mttr
-        self.stabilize_at = stabilize_at
-        # Seed boundary: the injector owns a private stream derived from
-        # an explicit seed, so fault timelines replay bit-for-bit.
-        self.rng = random.Random(seed)  # repro: noqa(DET004)
-        self.bad_nodes = frozenset(bad_nodes)
-        self.bad_mode = bad_mode
-        self.max_faults_per_node = max_faults_per_node
-        self._fault_counts: Dict[int, int] = {}
-
-    def install(self, sim: Simulator, nodes: Dict[int, Node]) -> None:
-        """Arm a crash timer for every node."""
-        for node in nodes.values():
-            self._arm_crash(sim, node)
-
-    # -- internals ----------------------------------------------------------
-
-    def _budget_left(self, node: Node) -> bool:
-        if self.max_faults_per_node is None:
-            return True
-        return self._fault_counts.get(node.node_id, 0) < self.max_faults_per_node
-
-    def _arm_crash(self, sim: Simulator, node: Node) -> None:
-        delay = self.rng.expovariate(1.0 / self.mttf)
-        sim.schedule(delay, self._crash, sim, node)
-
-    def _crash(self, sim: Simulator, node: Node) -> None:
-        is_bad = node.node_id in self.bad_nodes
-        if not is_bad and sim.now >= self.stabilize_at:
-            return  # good nodes stop crashing after stabilisation
-        if not self._budget_left(node):
-            return
-        if not node.up:
-            return
-        node.crash()
-        self._fault_counts[node.node_id] = \
-            self._fault_counts.get(node.node_id, 0) + 1
-        if is_bad and self.bad_mode == "die":
-            return  # permanently down
-        delay = self.rng.expovariate(1.0 / self.mttr)
-        sim.schedule(delay, self._recover, sim, node)
-
-    def _recover(self, sim: Simulator, node: Node) -> None:
-        if node.up:
-            return
-        node.recover()
-        self._arm_crash(sim, node)

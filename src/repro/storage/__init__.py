@@ -1,12 +1,15 @@
 """Stable storage: the paper's ``log`` / ``retrieve`` primitives.
 
 See :mod:`repro.storage.stable` for the abstract interface and operation
-accounting, :mod:`repro.storage.memory` for the simulation backend and
-:mod:`repro.storage.file` for the durable file backend.
+accounting, :mod:`repro.storage.memory` for the simulation backend,
+:mod:`repro.storage.file` for the durable self-healing file backend and
+:mod:`repro.storage.faulty` for the seeded disk-fault injector.
 """
 
+from repro.storage.faulty import FaultyStorage, InjectedCrashFault
 from repro.storage.file import FileStorage
 from repro.storage.memory import MemoryStorage
 from repro.storage.stable import StableStorage, StorageMetrics
 
-__all__ = ["FileStorage", "MemoryStorage", "StableStorage", "StorageMetrics"]
+__all__ = ["FaultyStorage", "FileStorage", "InjectedCrashFault",
+           "MemoryStorage", "StableStorage", "StorageMetrics"]

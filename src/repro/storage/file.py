@@ -1,8 +1,27 @@
-"""File-backed stable storage.
+"""File-backed stable storage with corruption detection and self-healing.
 
-One JSON file per key under a node-specific directory, written with the
-classic write-to-temp-then-rename pattern so a crash mid-write never
-corrupts a previously logged value (rename is atomic on POSIX).
+One record file per key under a node-specific directory.  Every record is
+framed for integrity checking::
+
+    <crc32 of payload, 8 hex digits> <payload length in bytes>\\n
+    <payload: UTF-8 tagged-JSON from repro.storage.codec>
+
+and written with the classic write-to-temp / fsync / rename / fsync-dir
+sequence, so a crash at *any* instant leaves either the old record or the
+new one — never a blend — and the rename itself is durable (the directory
+entry is flushed too, not just the file contents).
+
+Self-healing: a record that fails its frame check (torn tail after a
+mid-``fsync`` crash, bit rot, truncation) is **quarantined** — moved
+aside into a ``quarantine/`` subdirectory, counted in
+``metrics.quarantined`` — and reads return the caller's default, exactly
+as if the record had never been logged.  For the paper's protocols that
+is the correct semantics: a value whose log did not complete was never
+durably logged, so recovery must proceed as if the ``log`` call crashed
+before the write (the protocols are designed for precisely that).  A
+recovery scan at open time sweeps stale temp files and proactively
+quarantines corrupt records so a recovering node starts from a clean
+directory; :attr:`FileStorage.recovery_report` lists what was healed.
 
 This backend exists to demonstrate that the protocols run against a real
 disk, and to test durability across *process* restarts; the simulation
@@ -13,53 +32,150 @@ from __future__ import annotations
 
 import os
 import tempfile
-from typing import Any, Iterable
+import zlib
+from typing import Any, Iterable, List, Tuple
 
 from repro.storage import codec
 from repro.storage.stable import StableStorage
 
-__all__ = ["FileStorage"]
+__all__ = ["FileStorage", "frame_record", "unframe_record"]
+
+_SUFFIX = ".json"
+_QUARANTINE_DIR = "quarantine"
 
 
 def _escape(path: str) -> str:
     """Map a storage key to a safe flat filename."""
-    return path.replace("%", "%25").replace("/", "%2F") + ".json"
+    return path.replace("%", "%25").replace("/", "%2F") + _SUFFIX
 
 
 def _unescape(filename: str) -> str:
-    stem = filename[:-len(".json")]
+    stem = filename[:-len(_SUFFIX)]
     return stem.replace("%2F", "/").replace("%25", "%")
 
 
+def frame_record(text: str) -> bytes:
+    """Frame one codec payload with its CRC32/length header."""
+    payload = text.encode("utf-8")
+    header = f"{zlib.crc32(payload) & 0xFFFFFFFF:08x} {len(payload)}\n"
+    return header.encode("ascii") + payload
+
+
+def unframe_record(raw: bytes) -> str:
+    """Verify a framed record and return its payload text.
+
+    Raises :class:`ValueError` describing the defect (torn tail, length
+    mismatch, checksum mismatch, malformed header) when the record does
+    not pass its integrity check.
+    """
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise ValueError("missing frame header")
+    header = raw[:newline]
+    try:
+        crc_hex, length_text = header.decode("ascii").split(" ")
+        expect_crc = int(crc_hex, 16)
+        expect_len = int(length_text)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ValueError(f"malformed frame header {header!r}") from exc
+    payload = raw[newline + 1:]
+    if len(payload) != expect_len:
+        raise ValueError(
+            f"torn record: {len(payload)} payload bytes, "
+            f"header promises {expect_len}")
+    actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+    if actual_crc != expect_crc:
+        raise ValueError(
+            f"checksum mismatch: {actual_crc:08x} != {expect_crc:08x}")
+    return payload.decode("utf-8")
+
+
 class FileStorage(StableStorage):
-    """Directory-of-JSON-files stable storage with atomic writes."""
+    """Directory-of-record-files stable storage with atomic, checked writes."""
 
     def __init__(self, directory: str):
         super().__init__()
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
+        # (key, defect) pairs healed by the open-time recovery scan.
+        self.recovery_report: List[Tuple[str, str]] = []
+        self._recovery_scan()
 
     def _file_for(self, path: str) -> str:
         return os.path.join(self.directory, _escape(path))
 
+    # -- recovery / self-healing -------------------------------------------
+
+    def _recovery_scan(self) -> None:
+        """Sweep temp droppings and quarantine corrupt records at open."""
+        for filename in sorted(os.listdir(self.directory)):
+            full = os.path.join(self.directory, filename)
+            if filename.endswith(".tmp"):
+                # A write that crashed before its rename; the record it
+                # was building was never durably logged.
+                os.unlink(full)
+                self.recovery_report.append((filename, "stale temp file"))
+                continue
+            if not filename.endswith(_SUFFIX):
+                continue
+            try:
+                with open(full, "rb") as handle:
+                    unframe_record(handle.read())
+            except (OSError, ValueError) as exc:
+                key = _unescape(filename)
+                self._quarantine(filename, key, str(exc))
+
+    def _quarantine(self, filename: str, key: str, defect: str) -> None:
+        """Move a corrupt record aside; reads of it see no record at all."""
+        pen = os.path.join(self.directory, _QUARANTINE_DIR)
+        os.makedirs(pen, exist_ok=True)
+        src = os.path.join(self.directory, filename)
+        dst = os.path.join(pen, filename)
+        serial = 0
+        while os.path.exists(dst):
+            serial += 1
+            dst = os.path.join(pen, f"{filename}.{serial}")
+        os.replace(src, dst)
+        self.metrics.quarantined += 1
+        self.recovery_report.append((key, defect))
+        self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        """Flush the directory entry so renames survive power loss too."""
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- backend hooks -------------------------------------------------------
+
     def _write(self, path: str, value: Any) -> None:
-        text = codec.encode(value)
+        raw = frame_record(codec.encode(value))
         fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(raw)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, self._file_for(path))
+            self._fsync_directory()
         finally:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
 
     def _read(self, path: str, default: Any) -> Any:
         try:
-            with open(self._file_for(path), encoding="utf-8") as handle:
-                return codec.decode(handle.read())
+            with open(self._file_for(path), "rb") as handle:
+                raw = handle.read()
         except FileNotFoundError:
+            return default
+        try:
+            return codec.decode(unframe_record(raw))
+        except ValueError as exc:
+            # Detected lazily (corruption after the open-time scan, e.g.
+            # an injected disk fault): heal in place and report no record.
+            self._quarantine(_escape(path), path, str(exc))
             return default
 
     def _delete_raw(self, path: str) -> None:
@@ -70,5 +186,5 @@ class FileStorage(StableStorage):
 
     def _keys(self) -> Iterable[str]:
         for filename in os.listdir(self.directory):
-            if filename.endswith(".json"):
+            if filename.endswith(_SUFFIX):
                 yield _unescape(filename)

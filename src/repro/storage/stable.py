@@ -47,13 +47,16 @@ class StorageMetrics:
     """
 
     __slots__ = ("log_ops", "bytes_logged", "retrievals", "deletes",
-                 "ops_by_prefix", "bytes_by_prefix")
+                 "quarantined", "ops_by_prefix", "bytes_by_prefix")
 
     def __init__(self) -> None:
         self.log_ops = 0
         self.bytes_logged = 0
         self.retrievals = 0
         self.deletes = 0
+        # Records found torn or corrupt and set aside by a self-healing
+        # backend (FileStorage's CRC scan) instead of being served.
+        self.quarantined = 0
         self.ops_by_prefix: Dict[str, int] = {}
         self.bytes_by_prefix: Dict[str, int] = {}
 
@@ -73,6 +76,7 @@ class StorageMetrics:
             "bytes_logged": self.bytes_logged,
             "retrievals": self.retrievals,
             "deletes": self.deletes,
+            "quarantined": self.quarantined,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

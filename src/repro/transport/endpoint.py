@@ -17,9 +17,8 @@ from collections import deque
 from typing import Any, Callable, Deque, Generator, Tuple
 
 from repro.errors import ProcessDown
-from repro.runtime import NodeComponent, Signal
+from repro.runtime import NodeComponent, Signal, TransportMedium
 from repro.transport.message import WireMessage
-from repro.transport.network import Network
 
 __all__ = ["Endpoint", "ReceiveQueue"]
 
@@ -57,7 +56,7 @@ class Endpoint(NodeComponent):
 
     name = "endpoint"
 
-    def __init__(self, network: Network):
+    def __init__(self, network: TransportMedium):
         super().__init__()
         self.network = network
         self._queues: dict = {}

@@ -289,6 +289,64 @@ def test_wal_out_of_scope_package():
     assert check(WAL_BAD, module="repro.harness.fixture") == []
 
 
+# -- WAL002: raw transport sends ---------------------------------------------
+
+RAW_SEND = """
+    class Proto:
+        def gossip(self):
+            self.node.network.send(self.node.node_id, 2, "msg")
+"""
+
+
+def test_raw_network_send_flagged():
+    findings = check(RAW_SEND, module=CORE_MODULE)
+    assert rule_ids(findings) == ["WAL002"]
+    assert "endpoint" in findings[0].message
+
+
+def test_raw_medium_multisend_flagged():
+    findings = check("""
+        class Proto:
+            def flood(self):
+                self._medium.multisend(0, "msg")
+    """, module="repro.consensus.fixture")
+    assert rule_ids(findings) == ["WAL002"]
+
+
+def test_endpoint_send_is_clean():
+    findings = check("""
+        class Proto:
+            def reply(self, sender):
+                self.endpoint.send(sender, "ack")
+                self.endpoint.multisend("all")
+    """, module=CORE_MODULE)
+    assert findings == []
+
+
+def test_generator_send_is_clean():
+    # Generators also have .send(); the rule keys on transport-shaped
+    # receiver names, not the method name alone.
+    findings = check("""
+        class Proto:
+            def resume(self):
+                self.task.gen.send(None)
+    """, module=CORE_MODULE)
+    assert findings == []
+
+
+def test_raw_send_out_of_scope_package():
+    # The transport package itself is the sanctioned caller of the
+    # medium (the stubborn layer, the endpoint); harnesses wire media.
+    assert check(RAW_SEND, module="repro.transport.fixture") == []
+    assert check(RAW_SEND, module="repro.harness.fixture") == []
+
+
+def test_raw_send_suppressed():
+    suppressed = RAW_SEND.replace(
+        '"msg")', '"msg")  # repro: noqa(WAL002)')
+    assert check(suppressed, module=CORE_MODULE) == []
+
+
 # -- SIM001: lost tasks -------------------------------------------------------
 
 def test_lost_module_level_task_flagged():

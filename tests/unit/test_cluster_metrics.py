@@ -97,3 +97,52 @@ class TestRunMetricsAssembly:
         from repro.apps.counter import SequenceRecorder
         assert isinstance(cluster.app(0), SequenceRecorder)
         assert len(cluster.app(0).entries) == 9
+
+
+class TestChaosCounters:
+    """Stubborn-channel and fault-injection fields of RunMetrics."""
+
+    def test_plain_run_reports_no_chaos_counters(self):
+        metrics = run_basic(seed=98).metrics()
+        assert metrics.stubborn is None
+        assert metrics.faults_injected is None
+        assert metrics.total_retransmissions() == 0
+        assert metrics.total_acks() == 0
+        assert metrics.total_quarantined() == 0
+        assert metrics.total_faults_injected() == 0
+
+    def test_stubborn_run_reports_retransmission_counters(self):
+        cluster = Cluster(ClusterConfig(
+            n=3, seed=99, protocol="basic", stubborn=True,
+            network=NetworkConfig(loss_rate=0.2)))
+        cluster.start()
+        ScheduledWorkload([(0.5 + 0.2 * j, j % 3, ("m", j))
+                           for j in range(6)]).install(cluster)
+        cluster.run(until=15.0)
+        cluster.settle(limit=120.0)
+        metrics = cluster.metrics()
+        assert metrics.stubborn is not None
+        assert metrics.total_retransmissions() > 0
+        assert metrics.total_acks() > 0
+        assert metrics.total_retransmissions() == \
+            cluster.stubborn.metrics.retransmissions
+        assert metrics.total_acks() == \
+            cluster.stubborn.metrics.acks_received
+
+    def test_quarantine_counter_sums_storage_metrics(self):
+        cluster = run_basic(seed=100)
+        # Simulate what a recovery scan records on corruption.
+        cluster.nodes[1].storage.metrics.quarantined = 2
+        cluster.nodes[2].storage.metrics.quarantined = 1
+        assert cluster.metrics().total_quarantined() == 3
+
+    def test_faults_injected_total(self):
+        from repro.metrics.collector import RunMetrics
+        metrics = run_basic(seed=101).metrics()
+        rebuilt = RunMetrics(
+            metrics.duration, metrics.collector,
+            metrics.storage_by_node, metrics.storage_prefix_ops,
+            metrics.storage_prefix_bytes, metrics.storage_residency,
+            metrics.network, metrics.node_stats,
+            faults_injected={"crash": 2, "torn_write": 1})
+        assert rebuilt.total_faults_injected() == 3

@@ -1,0 +1,266 @@
+"""Unit tests for the stubborn (retransmitting) channel layer."""
+
+from __future__ import annotations
+
+import random
+
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.runtime import Node, NodeComponent
+from repro.runtime import wire
+from repro.sim.kernel import Simulator
+from repro.storage.memory import MemoryStorage
+from repro.transport.message import WireMessage
+from repro.transport.network import NetworkConfig
+from repro.transport.stubborn import (StubbornChannel, StubbornConfig,
+                                      StubbornData)
+
+
+class Note(WireMessage):
+    type = "test.stub.note"
+    fields = ("text",)
+
+    def __init__(self, text):
+        self.text = text
+
+
+class Beat(WireMessage):
+    type = "fd.alive"  # same tag as the real heartbeat: must bypass
+    fields = ("epoch",)
+
+    def __init__(self, epoch):
+        self.epoch = epoch
+
+
+class LossyMedium:
+    """A fair-loss test double: drops the first ``drop_first`` payloads
+    of each message type, then delivers everything (acks always pass)."""
+
+    def __init__(self, sim, drop_first=0):
+        self.sim = sim
+        self.drop_first = drop_first
+        self.dropped = {}
+        self.sent_types = []
+        self.blackhole = False
+        self._nodes = {}
+
+    def register(self, node):
+        self._nodes[node.node_id] = node
+
+    def node_ids(self):
+        return tuple(sorted(self._nodes))
+
+    def send(self, src, dst, message):
+        self.sent_types.append(message.type)
+        if self.blackhole:
+            return
+        if message.type == StubbornData.type:
+            seen = self.dropped.get(message.type, 0)
+            if seen < self.drop_first:
+                self.dropped[message.type] = seen + 1
+                return
+        node = self._nodes.get(dst)
+        if node is not None:
+            self.sim.call_soon(node.deliver, message, src)
+
+    def multisend(self, src, message):
+        for dst in self.node_ids():
+            self.send(src, dst, message)
+
+
+class Suspicion(NodeComponent):
+    """Stub failure detector exposing the suspension hook."""
+
+    name = "suspicion-stub"
+
+    def __init__(self):
+        super().__init__()
+        self.suspected = set()
+
+    def is_suspected(self, peer):
+        return peer in self.suspected
+
+
+def build_pair(sim, drop_first=0, config=None, with_suspicion=False):
+    inner = LossyMedium(sim, drop_first=drop_first)
+    channel = StubbornChannel(sim, inner, config or StubbornConfig(),
+                              rng=random.Random(7))
+    nodes, got, suspicions = {}, [], {}
+    for i in (0, 1):
+        node = Node(sim, i, MemoryStorage())
+        if with_suspicion:
+            suspicions[i] = node.add_component(Suspicion())
+        channel.register(node)
+        node.register_handler(Note.type,
+                              lambda m, s, i=i: got.append((i, s, m.text)))
+        nodes[i] = node
+    for node in nodes.values():
+        node.start()
+    return inner, channel, nodes, got, suspicions
+
+
+class TestEnvelope:
+    def test_wrap_unwrap_roundtrips_over_the_wire(self):
+        envelope = StubbornData.wrap(4, Note("payload"))
+        raw = wire.encode(0, envelope)
+        sender, decoded = wire.decode(raw)
+        assert sender == 0
+        assert decoded.type == StubbornData.type
+        assert decoded.seq == 4
+        inner = decoded.unwrap()
+        assert isinstance(inner, Note)
+        assert inner.text == "payload"
+
+    def test_unwrap_uses_cached_instance_on_the_sim_path(self):
+        note = Note("same object")
+        envelope = StubbornData.wrap(0, note)
+        assert envelope.unwrap() is note
+
+
+class TestRetransmission:
+    def test_delivers_through_repeated_loss(self, sim):
+        inner, channel, nodes, got, _ = build_pair(sim, drop_first=3)
+        channel.send(0, 1, Note("hello"))
+        sim.run(until=30)
+        assert got == [(1, 0, "hello")]
+        assert channel.metrics.data_sent == 1
+        assert channel.metrics.retransmissions >= 3
+        assert channel.metrics.acks_received == 1
+        assert channel.link(0).in_flight(1) == 0
+
+    def test_lossless_path_sends_once(self, sim):
+        inner, channel, nodes, got, _ = build_pair(sim)
+        channel.send(0, 1, Note("one"))
+        sim.run(until=0.1)
+        assert got == [(1, 0, "one")]
+        assert channel.metrics.retransmissions == 0
+        # Retry timer must have been cancelled by the ack.
+        sim.run(until=30)
+        assert channel.metrics.retransmissions == 0
+
+    def test_duplicate_ack_is_harmless(self, sim):
+        inner, channel, nodes, got, _ = build_pair(sim)
+        channel.send(0, 1, Note("x"))
+        sim.run(until=0.1)
+        from repro.transport.stubborn import StubbornAck
+        nodes[0].deliver(StubbornAck(0), 1)  # replayed ack
+        assert channel.metrics.acks_received == 1
+        assert got == [(1, 0, "x")]
+
+    def test_multisend_wraps_every_leg(self, sim):
+        inner, channel, nodes, got, _ = build_pair(sim)
+        channel.multisend(0, Note("all"))
+        sim.run(until=0.5)
+        assert sorted(got) == [(0, 0, "all"), (1, 0, "all")]
+
+
+class TestWindow:
+    def test_backlog_beyond_window(self, sim):
+        config = StubbornConfig(window=2)
+        inner, channel, nodes, got, _ = build_pair(sim, config=config)
+        inner.blackhole = True
+        for k in range(5):
+            channel.send(0, 1, Note(f"m{k}"))
+        link = channel.link(0)
+        assert link.in_flight(1) == 2
+        assert link.backlog(1) == 3
+        assert channel.metrics.queued == 3
+        inner.blackhole = False
+        sim.run(until=60)
+        assert sorted(text for _, _, text in got) == \
+            [f"m{k}" for k in range(5)]
+        assert link.in_flight(1) == 0
+        assert link.backlog(1) == 0
+
+
+class TestBypassAndLoopback:
+    def test_heartbeats_bypass_the_layer(self, sim):
+        inner, channel, nodes, got, _ = build_pair(sim)
+        channel.send(0, 1, Beat(epoch=2))
+        assert inner.sent_types == ["fd.alive"]  # raw, not stub.data
+        sim.run(until=5)
+        assert channel.metrics.data_sent == 0
+
+    def test_loopback_bypasses_the_layer(self, sim):
+        inner, channel, nodes, got, _ = build_pair(sim)
+        channel.send(0, 0, Note("self"))
+        assert inner.sent_types == [Note.type]
+        sim.run(until=1)
+        assert got == [(0, 0, "self")]
+        assert channel.metrics.data_sent == 0
+
+
+class TestCrashVolatility:
+    def test_crash_cancels_retransmission(self, sim):
+        inner, channel, nodes, got, _ = build_pair(sim)
+        inner.blackhole = True
+        channel.send(0, 1, Note("doomed"))
+        sim.run(until=1)
+        sent_before = len(inner.sent_types)
+        nodes[0].crash()
+        assert channel.link(0).in_flight(1) == 0
+        inner.blackhole = False
+        sim.run(until=30)
+        # Stubbornness is per-incarnation: nothing retried after the crash.
+        assert len(inner.sent_types) == sent_before
+        assert got == []
+
+    def test_recovered_node_sends_fresh_sequences(self, sim):
+        inner, channel, nodes, got, _ = build_pair(sim)
+        channel.send(0, 1, Note("before"))
+        sim.run(until=1)
+        nodes[0].crash()
+        sim.run(until=2)
+        nodes[0].recover()
+        channel.send(0, 1, Note("after"))
+        sim.run(until=5)
+        assert [text for _, _, text in got] == ["before", "after"]
+
+
+class TestSuspension:
+    def test_retries_slow_poll_while_suspected(self, sim):
+        config = StubbornConfig(base_interval=0.1, max_interval=0.2,
+                                jitter=0.0, suspend_interval=5.0)
+        inner, channel, nodes, got, suspicions = build_pair(
+            sim, config=config, with_suspicion=True)
+        inner.blackhole = True
+        suspicions[0].suspected.add(1)
+        channel.send(0, 1, Note("patient"))
+        sim.run(until=12)
+        assert channel.metrics.suspended_skips >= 2
+        # Initial transmit only; every retry slot was a suspended skip.
+        assert inner.sent_types.count(StubbornData.type) == 1
+        # Rehabilitation restores full-speed retransmission and delivery.
+        suspicions[0].suspected.clear()
+        inner.blackhole = False
+        sim.run(until=30)
+        assert got == [(1, 0, "patient")]
+
+
+class TestClusterIntegration:
+    def test_sim_cluster_with_stubborn_survives_loss(self):
+        config = ClusterConfig(
+            n=3, seed=5, protocol="basic",
+            network=NetworkConfig(loss_rate=0.2),
+            stubborn=StubbornConfig(base_interval=0.3))
+        cluster = Cluster(config)
+        assert cluster.stubborn is not None
+        cluster.start()
+        for k in range(5):
+            cluster.submit(k % 3, f"p{k}")
+            cluster.run(until=cluster.sim.now + 0.5)
+        assert cluster.settle(limit=120)
+        metrics = cluster.metrics()
+        assert metrics.stubborn is not None
+        assert metrics.stubborn["data_sent"] > 0
+        assert metrics.messages_delivered == 5
+
+    def test_sim_cluster_defaults_to_raw_channel(self):
+        cluster = Cluster(ClusterConfig(n=3, seed=0))
+        assert cluster.stubborn is None
+        assert cluster.medium is cluster.network
+        assert cluster.metrics().stubborn is None
+
+
+def test_simulator_smoke_fixture_alias():
+    # Guard: the conftest `sim` fixture and this module agree on the type.
+    assert Simulator is not None
