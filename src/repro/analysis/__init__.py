@@ -24,9 +24,10 @@ CLI (``repro lint`` / ``python -m repro.analysis``).
 from repro.analysis.engine import (Finding, ModuleContext, Report,
                                    analyze_paths, analyze_source,
                                    iter_python_files, module_name_for_path)
+from repro.analysis.diffs import changed_lines, filter_report
 from repro.analysis.lint import execute_lint, main
 from repro.analysis.registry import Rule, RuleRegistry, default_registry
-from repro.analysis.reporters import format_json, format_text
+from repro.analysis.reporters import format_json, format_sarif, format_text
 
 __all__ = [
     "Finding",
@@ -36,9 +37,12 @@ __all__ = [
     "RuleRegistry",
     "analyze_paths",
     "analyze_source",
+    "changed_lines",
     "default_registry",
     "execute_lint",
+    "filter_report",
     "format_json",
+    "format_sarif",
     "format_text",
     "iter_python_files",
     "main",

@@ -1,0 +1,190 @@
+"""Call resolution over the project symbol table.
+
+The interprocedural rules walk statements and ask, for every
+``ast.Call``, *which function body runs?*  Resolution is context
+sensitive in the one dimension that matters for protocol classes: the
+**concrete class** of ``self``.  A base-class method analyzed on behalf
+of concrete class ``C`` resolves ``self.m()`` through ``C``'s MRO, so
+the override that will actually run is the one analyzed — e.g.
+``BasicAtomicBroadcast.on_start`` calling ``self._restore_volatile_state``
+resolves to the ``Alternative`` override when the concrete class is
+``AlternativeAtomicBroadcast``.
+
+Resolved forms:
+
+* ``self.m(...)`` — MRO of the concrete class;
+* ``super().m(...)`` — MRO past the defining class;
+* ``self.attr.m(...)`` — the attr's class inferred from ``__init__``
+  annotations/constructions, *plus* every known subclass override
+  (class-hierarchy fan-out: the harness may wire any concrete subtype,
+  and abstract hooks like ``ConsensusService._activate`` only have
+  bodies in subclasses);
+* ``f(...)`` — a module-level function, local or imported;
+* ``Cls.m(...)`` / ``mod.f(...)`` — explicit qualification.
+
+Anything else is unknown, and callers treat it as opaque.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.symbols import ClassInfo, SymbolTable
+
+__all__ = ["CallResolver", "ResolvedCall"]
+
+
+class ResolvedCall:
+    """One possible callee of a call site."""
+
+    __slots__ = ("concrete", "defining", "func", "receiver")
+
+    def __init__(self, concrete: Optional[ClassInfo],
+                 defining: Optional[ClassInfo], func: ast.AST,
+                 receiver: str):
+        #: Concrete class for resolving further self-calls in the callee.
+        self.concrete = concrete
+        #: Class whose body defines the callee (anchor for super()).
+        self.defining = defining
+        self.func = func
+        #: ``"self"`` when the callee runs on the caller's own object.
+        self.receiver = receiver
+
+    @property
+    def name(self) -> str:
+        owner = self.defining.name if self.defining else "<module>"
+        return f"{owner}.{getattr(self.func, 'name', '?')}"
+
+    def key(self) -> tuple:
+        concrete = self.concrete.qualname if self.concrete else ""
+        defining = self.defining.qualname if self.defining else ""
+        return (concrete, defining, getattr(self.func, "name", ""))
+
+
+class CallResolver:
+    """Resolves call sites against a :class:`SymbolTable`."""
+
+    def __init__(self, table: SymbolTable):
+        self.table = table
+
+    # -- public api --------------------------------------------------------
+
+    def resolve(self, call: ast.Call, module: str,
+                concrete: Optional[ClassInfo],
+                defining: Optional[ClassInfo]) -> List[ResolvedCall]:
+        """All known callees of ``call`` (empty when unresolvable)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_bare(func.id, module, concrete)
+        if not isinstance(func, ast.Attribute):
+            return []
+        method = func.attr
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self" and concrete is not None:
+                return self._method_target(concrete, method, "self")
+            return self._resolve_qualified(receiver.id, method, module)
+        if isinstance(receiver, ast.Call) and \
+                isinstance(receiver.func, ast.Name) and \
+                receiver.func.id == "super" and concrete is not None:
+            after = defining.qualname if defining is not None else None
+            found = self.table.find_method(concrete.qualname, method,
+                                           after=after)
+            if found is None:
+                return []
+            owner, body = found
+            return [ResolvedCall(concrete, owner, body, "self")]
+        if isinstance(receiver, ast.Attribute) and \
+                isinstance(receiver.value, ast.Name) and \
+                receiver.value.id == "self" and concrete is not None:
+            return self._resolve_attr_call(concrete, receiver.attr, method,
+                                           module)
+        return []
+
+    def method_refs(self, stmt: ast.stmt, module: str,
+                    concrete: Optional[ClassInfo]
+                    ) -> Iterator[ResolvedCall]:
+        """Address-taken method references inside one statement.
+
+        ``endpoint.register(T, self._on_gossip)`` passes ``self._on_gossip``
+        without calling it; the registered handler is reachable the moment
+        a message arrives, so reachability analyses must follow it.
+        """
+        call_funcs = {id(node.func) for node in ast.walk(stmt)
+                      if isinstance(node, ast.Call)}
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Attribute) or id(node) in call_funcs:
+                continue
+            if isinstance(node.value, ast.Name) and \
+                    node.value.id == "self" and concrete is not None:
+                yield from self._method_target(concrete, node.attr, "self")
+            elif isinstance(node.value, ast.Attribute) and \
+                    isinstance(node.value.value, ast.Name) and \
+                    node.value.value.id == "self" and concrete is not None:
+                yield from self._resolve_attr_call(
+                    concrete, node.value.attr, node.attr, module)
+
+    # -- internals ---------------------------------------------------------
+
+    def _method_target(self, concrete: ClassInfo, method: str,
+                       receiver: str) -> List[ResolvedCall]:
+        found = self.table.find_method(concrete.qualname, method)
+        if found is None:
+            return []
+        owner, body = found
+        return [ResolvedCall(concrete, owner, body, receiver)]
+
+    def _attr_class(self, concrete: ClassInfo,
+                    attr: str) -> Optional[ClassInfo]:
+        for info in self.table.mro(concrete.qualname):
+            declared = info.attr_types.get(attr)
+            if declared:
+                return self.table.resolve_name(info.module, declared)
+        return None
+
+    def _resolve_attr_call(self, concrete: ClassInfo, attr: str,
+                           method: str, module: str) -> List[ResolvedCall]:
+        declared = self._attr_class(concrete, attr)
+        if declared is None:
+            return []
+        targets: List[ResolvedCall] = []
+        seen = set()
+        candidates = [declared] + self.table.subclasses(declared.qualname)
+        for candidate in candidates:
+            found = self.table.find_method(candidate.qualname, method)
+            if found is None:
+                continue
+            owner, body = found
+            resolved = ResolvedCall(candidate, owner, body, attr)
+            if resolved.key() in seen:
+                continue
+            seen.add(resolved.key())
+            targets.append(resolved)
+        return targets
+
+    def _resolve_bare(self, name: str, module: str,
+                      concrete: Optional[ClassInfo]) -> List[ResolvedCall]:
+        found = self.table.resolve_function(module, name)
+        if found is not None:
+            _, body = found
+            return [ResolvedCall(None, None, body, "")]
+        return []
+
+    def _resolve_qualified(self, head: str, method: str,
+                           module: str) -> List[ResolvedCall]:
+        # ``Cls.m(...)`` — an explicit class-qualified call.
+        info = self.table.resolve_name(module, head)
+        if info is not None:
+            return self._method_target(info, method, "")
+        # ``mod.f(...)`` — a function through an imported module.
+        symbols = self.table.modules.get(module)
+        if symbols is None:
+            return []
+        target = symbols.imports.get(head)
+        if target is not None:
+            other = self.table.modules.get(target)
+            if other is not None and method in other.functions:
+                return [ResolvedCall(None, None, other.functions[method],
+                                     "")]
+        return []

@@ -1,0 +1,308 @@
+"""Per-function control-flow graphs for the analysis framework.
+
+One :class:`CFGNode` per *simple* statement plus synthetic ``entry`` and
+``exit`` nodes.  Compound statements contribute a node for their header
+(the ``if``/``while``/``for``/``match`` test) and edges into their
+bodies; ``try`` is transparent (its body connects straight to the
+surrounding flow) but each ``except`` handler gets a head node and every
+statement of the ``try`` body conservatively edges to every handler — at
+this level of abstraction any statement may raise.
+
+Design choices that matter to the rules built on top:
+
+* ``while True`` (any constant-true test) has **no** false exit: the
+  only ways out are ``break``, ``return`` and ``raise``.  A send inside
+  such a loop is therefore reachable on every iteration.
+* abrupt exits (``return``/``break``/``continue``/``raise``) route
+  through enclosing ``finally`` blocks ("merged finally": one copy of
+  the final body, fed by both the normal and the abrupt paths — the
+  standard precision trade-off).
+* a ``match`` statement falls through past its cases unless one of them
+  is irrefutable (``case _:``).
+* nested ``def``/``class`` statements are single opaque nodes — their
+  bodies belong to other scopes and other CFGs.
+* statements containing ``yield``/``yield from``/``await`` are flagged
+  ``is_boundary``: in the simulation kernel a yield is a scheduling
+  point, where other tasks (and crashes) may interleave.
+
+Node labels are ``L<lineno>:<StatementType>`` (``L7:Assign``), which
+makes edge lists directly assertable in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+_LOOP_TYPES = (ast.While, ast.For, ast.AsyncFor)
+_OPAQUE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class CFGNode:
+    """One control-flow node: a simple statement or a compound header."""
+
+    __slots__ = ("index", "label", "stmt", "is_boundary", "succs")
+
+    def __init__(self, index: int, label: str,
+                 stmt: Optional[ast.AST] = None,
+                 is_boundary: bool = False):
+        self.index = index
+        self.label = label
+        self.stmt = stmt
+        self.is_boundary = is_boundary
+        self.succs: List["CFGNode"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CFGNode {self.label}>"
+
+
+class CFG:
+    """Control-flow graph of one function."""
+
+    __slots__ = ("name", "entry", "exit", "nodes")
+
+    def __init__(self, name: str, entry: CFGNode, exit_node: CFGNode,
+                 nodes: List[CFGNode]):
+        self.name = name
+        self.entry = entry
+        self.exit = exit_node
+        self.nodes = nodes
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """Sorted ``(src_label, dst_label)`` pairs — the testable shape."""
+        pairs = {(node.label, succ.label)
+                 for node in self.nodes for succ in node.succs}
+        return sorted(pairs)
+
+    def boundary_labels(self) -> List[str]:
+        """Labels of nodes that contain a scheduling boundary (yield)."""
+        return sorted(node.label for node in self.nodes if node.is_boundary)
+
+
+def _boundary_roots(stmt: ast.AST) -> List[ast.AST]:
+    """The parts of a statement that belong to its *own* CFG node.
+
+    Compound statements contribute only their header expression — their
+    bodies are separate nodes with their own boundary flags.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    return [stmt]
+
+
+def _has_boundary(node: ast.AST) -> bool:
+    """True if ``node`` contains a yield/await in *this* scope."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.Yield, ast.YieldFrom, ast.Await)):
+            return True
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue  # different scope
+            stack.append(child)
+    return False
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _is_irrefutable(case: ast.match_case) -> bool:
+    """``case _:`` or ``case name:`` with no guard always matches."""
+    pattern = case.pattern
+    return (isinstance(pattern, ast.MatchAs) and pattern.pattern is None
+            and case.guard is None)
+
+
+class _LoopFrame:
+    __slots__ = ("head", "breaks")
+
+    def __init__(self, head: CFGNode):
+        self.head = head
+        self.breaks: List[CFGNode] = []
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.loop_stack: List[_LoopFrame] = []
+        # One pending-jump list per active try/finally; a frame is only
+        # active while its try body / handlers / else are being built.
+        self.finally_stack: List[List[Tuple[CFGNode, str]]] = []
+        self.exit: Optional[CFGNode] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def new_node(self, stmt: Optional[ast.AST], label: str) -> CFGNode:
+        # An opaque nested scope is never a boundary of *this* scope,
+        # even though its body may contain yields of its own; compound
+        # headers only own their test/iterable, not their bodies.
+        node = CFGNode(len(self.nodes), label, stmt,
+                       is_boundary=stmt is not None
+                       and not isinstance(stmt, _OPAQUE_TYPES)
+                       and any(_has_boundary(root)
+                               for root in _boundary_roots(stmt)))
+        self.nodes.append(node)
+        return node
+
+    @staticmethod
+    def stmt_node_label(stmt: ast.AST) -> str:
+        return f"L{getattr(stmt, 'lineno', 0)}:{type(stmt).__name__}"
+
+    @staticmethod
+    def edge(src: CFGNode, dst: CFGNode) -> None:
+        if dst not in src.succs:
+            src.succs.append(dst)
+
+    def connect(self, preds: Sequence[CFGNode], node: CFGNode) -> None:
+        for pred in preds:
+            self.edge(pred, node)
+
+    def route_jump(self, node: CFGNode, kind: str) -> None:
+        """Send an abrupt exit towards its target, via any finally."""
+        if self.finally_stack:
+            self.finally_stack[-1].append((node, kind))
+        elif kind in ("return", "raise"):
+            assert self.exit is not None
+            self.edge(node, self.exit)
+        elif kind == "break":
+            self.loop_stack[-1].breaks.append(node)
+        elif kind == "continue":
+            self.edge(node, self.loop_stack[-1].head)
+
+    # -- recursive construction --------------------------------------------
+
+    def block(self, stmts: Sequence[ast.stmt],
+              preds: List[CFGNode]) -> List[CFGNode]:
+        for stmt in stmts:
+            preds = self.statement(stmt, preds)
+        return preds
+
+    def statement(self, stmt: ast.stmt,
+                  preds: List[CFGNode]) -> List[CFGNode]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds)
+        if isinstance(stmt, _LOOP_TYPES):
+            return self._loop(stmt, preds)
+        if isinstance(stmt, ast.Try) or (
+                hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)):
+            return self._try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self.new_node(stmt, self.stmt_node_label(stmt))
+            self.connect(preds, node)
+            return self.block(stmt.body, [node])
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, preds)
+        # Simple statement (or opaque nested scope).
+        node = self.new_node(stmt, self.stmt_node_label(stmt))
+        self.connect(preds, node)
+        if isinstance(stmt, ast.Return):
+            self.route_jump(node, "return")
+            return []
+        if isinstance(stmt, ast.Raise):
+            self.route_jump(node, "raise")
+            return []
+        if isinstance(stmt, ast.Break):
+            self.route_jump(node, "break")
+            return []
+        if isinstance(stmt, ast.Continue):
+            self.route_jump(node, "continue")
+            return []
+        return [node]
+
+    def _if(self, stmt: ast.If, preds: List[CFGNode]) -> List[CFGNode]:
+        node = self.new_node(stmt, self.stmt_node_label(stmt))
+        self.connect(preds, node)
+        outs = self.block(stmt.body, [node])
+        if stmt.orelse:
+            outs += self.block(stmt.orelse, [node])
+        else:
+            outs += [node]  # false branch falls through
+        return outs
+
+    def _loop(self, stmt: ast.stmt, preds: List[CFGNode]) -> List[CFGNode]:
+        head = self.new_node(stmt, self.stmt_node_label(stmt))
+        self.connect(preds, head)
+        frame = _LoopFrame(head)
+        self.loop_stack.append(frame)
+        body_out = self.block(stmt.body, [head])
+        for node in body_out:
+            self.edge(node, head)  # back edge
+        self.loop_stack.pop()
+        if isinstance(stmt, ast.While) and _is_constant_true(stmt.test):
+            normal_exit: List[CFGNode] = []  # while True: break-only exit
+        else:
+            normal_exit = [head]
+        if stmt.orelse:
+            normal_exit = self.block(stmt.orelse, normal_exit)
+        return normal_exit + frame.breaks
+
+    def _try(self, stmt: ast.stmt, preds: List[CFGNode]) -> List[CFGNode]:
+        if stmt.finalbody:
+            self.finally_stack.append([])
+        first_body_index = len(self.nodes)
+        body_out = self.block(stmt.body, preds)
+        body_nodes = self.nodes[first_body_index:]
+        handler_heads: List[CFGNode] = []
+        handler_outs: List[CFGNode] = []
+        for handler in stmt.handlers:
+            head = self.new_node(handler,
+                                 f"L{handler.lineno}:ExceptHandler")
+            handler_heads.append(head)
+            handler_outs += self.block(handler.body, [head])
+        # Any statement of the try body may raise into any handler.
+        for node in body_nodes:
+            for head in handler_heads:
+                self.edge(node, head)
+        if stmt.orelse:
+            body_out = self.block(stmt.orelse, body_out)
+        normal_out = body_out + handler_outs
+        if not stmt.finalbody:
+            return normal_out
+        pending = self.finally_stack.pop()
+        fin_preds = normal_out + [node for node, _ in pending]
+        fin_out = self.block(stmt.finalbody, fin_preds)
+        # The merged final body forwards each captured abrupt exit.
+        for kind in sorted({kind for _, kind in pending}):
+            for node in fin_out:
+                self.route_jump(node, kind)
+        return fin_out if normal_out else []
+
+    def _match(self, stmt: ast.Match, preds: List[CFGNode]) -> List[CFGNode]:
+        node = self.new_node(stmt, self.stmt_node_label(stmt))
+        self.connect(preds, node)
+        outs: List[CFGNode] = []
+        irrefutable = False
+        for case in stmt.cases:
+            outs += self.block(case.body, [node])
+            irrefutable = irrefutable or _is_irrefutable(case)
+        if not irrefutable:
+            outs += [node]  # no case matched: fall through
+        return outs
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one ``def``/``async def`` AST node."""
+    builder = _Builder()
+    entry = builder.new_node(None, "entry")
+    exit_node = CFGNode(-1, "exit")
+    builder.exit = exit_node
+    outs = builder.block(getattr(func, "body", []), [entry])
+    for node in outs:
+        builder.edge(node, exit_node)
+    exit_node.index = len(builder.nodes)
+    builder.nodes.append(exit_node)
+    return CFG(getattr(func, "name", "<lambda>"), entry, exit_node,
+               builder.nodes)

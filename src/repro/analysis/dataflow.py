@@ -1,0 +1,64 @@
+"""Generic forward dataflow solving over :mod:`repro.analysis.cfg` graphs.
+
+A rule supplies a :class:`ForwardProblem` — an initial state, a transfer
+function and a join — and :func:`solve_forward` iterates a worklist to a
+fixpoint.  States must be immutable values with structural equality
+(frozensets, tuples of frozensets); the solver never mutates them.
+
+Termination is the problem's responsibility: transfer and join must be
+monotone over a finite lattice.  Every rule in this package uses
+frozensets drawn from the finite universe of one function's fields,
+names and line numbers, so chains are trivially finite.
+
+The solver returns the fixpoint *in*-state of every node.  Rules then
+make one final pass over the nodes, re-running their transfer with the
+converged states to emit findings — emitting during the fixpoint
+iterations would report on transient, not-yet-converged states.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.analysis.cfg import CFG, CFGNode
+
+__all__ = ["ForwardProblem", "solve_forward"]
+
+
+class ForwardProblem:
+    """Interface a dataflow client implements."""
+
+    def initial(self) -> Any:
+        """State on entry to the function."""
+        raise NotImplementedError  # pragma: no cover
+
+    def transfer(self, node: CFGNode, state: Any) -> Any:
+        """State after executing ``node`` from ``state``."""
+        raise NotImplementedError  # pragma: no cover
+
+    def join(self, left: Any, right: Any) -> Any:
+        """Merge states at a control-flow confluence."""
+        raise NotImplementedError  # pragma: no cover
+
+
+def solve_forward(cfg: CFG, problem: ForwardProblem) -> Dict[int, Any]:
+    """Fixpoint in-states, keyed by ``CFGNode.index``.
+
+    Nodes never reached from entry (e.g. code after ``while True`` with
+    no break) are absent from the result.
+    """
+    in_states: Dict[int, Any] = {cfg.entry.index: problem.initial()}
+    worklist = [cfg.entry]
+    while worklist:
+        node = worklist.pop()
+        out = problem.transfer(node, in_states[node.index])
+        for succ in node.succs:
+            if succ.index in in_states:
+                merged = problem.join(in_states[succ.index], out)
+                if merged == in_states[succ.index]:
+                    continue
+                in_states[succ.index] = merged
+            else:
+                in_states[succ.index] = out
+            worklist.append(succ)
+    return in_states

@@ -1,0 +1,80 @@
+"""Changed-line filtering for ``repro lint --diff BASE``.
+
+CI runs the full analyzer on pushes to main, but on pull requests the
+interesting findings are the ones the PR *introduced*.  ``--diff BASE``
+keeps only findings whose (file, line) lies inside a changed hunk of
+``git diff BASE`` — the analysis itself still sees the whole tree (the
+interprocedural rules need it), only the report is filtered.
+
+Hunks are parsed from ``--unified=0`` output, so a changed line means a
+line that is literally added or modified, not merely near a change.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+from typing import Dict, List, Set
+
+from repro.analysis.engine import Finding, Report
+from repro.errors import AnalysisError
+
+__all__ = ["changed_lines", "filter_report"]
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(?P<start>\d+)(?:,(?P<count>\d+))? @@")
+
+
+def changed_lines(base: str, cwd: str = ".") -> Dict[str, Set[int]]:
+    """Map absolute file path -> set of new-side changed line numbers."""
+    command = ["git", "diff", "--unified=0", "--no-color", base, "--"]
+    try:
+        proc = subprocess.run(command, cwd=cwd, capture_output=True,
+                              text=True)
+    except OSError as exc:  # git not installed
+        raise AnalysisError(f"cannot run git diff: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip().splitlines()
+        raise AnalysisError(
+            f"git diff {base} failed: "
+            f"{detail[0] if detail else 'unknown error'}")
+    toplevel = _git_toplevel(cwd)
+    changed: Dict[str, Set[int]] = {}
+    current: Set[int] = set()
+    for line in proc.stdout.splitlines():
+        if line.startswith("+++ "):
+            name = line[4:].strip()
+            if name == "/dev/null":
+                current = set()
+                continue
+            if name.startswith("b/"):
+                name = name[2:]
+            path = os.path.normpath(os.path.join(toplevel, name))
+            current = changed.setdefault(path, set())
+        else:
+            match = _HUNK_RE.match(line)
+            if match is None:
+                continue
+            start = int(match.group("start"))
+            count = int(match.group("count") or "1")
+            current.update(range(start, start + count))
+    return changed
+
+
+def _git_toplevel(cwd: str) -> str:
+    proc = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                          cwd=cwd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise AnalysisError("not inside a git repository "
+                            "(--diff needs one)")
+    return proc.stdout.strip()
+
+
+def filter_report(report: Report, changed: Dict[str, Set[int]]) -> Report:
+    """Keep only findings on changed lines (paths compared absolute)."""
+    kept: List[Finding] = []
+    for finding in report.findings:
+        path = os.path.normpath(os.path.abspath(finding.path))
+        if finding.line in changed.get(path, ()):
+            kept.append(finding)
+    return Report(kept, report.files_analyzed)

@@ -1,8 +1,15 @@
 """Analyzer engine: parse modules, run rules, honour suppressions.
 
-The engine is deliberately file-at-a-time and AST-only — no imports of
-the code under analysis — so it can lint a broken working tree and runs
-in milliseconds as a CI gate.
+The engine is AST-only — no imports of the code under analysis — so it
+can lint a broken working tree and runs in seconds as a CI gate.  Rules
+come in two shapes:
+
+* **module rules** inspect one file at a time (``check(ctx)``);
+* **project rules** (``requires_project = True``) see every analyzed
+  module at once through a :class:`ProjectContext` — symbol table, call
+  graph — and implement ``check_project(project)``.  ``analyze_source``
+  wraps a single module in a one-module project so fixture tests can
+  drive them the same way.
 
 Suppressions
 ------------
@@ -22,11 +29,12 @@ import os
 import re
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.registry import RuleRegistry, default_registry
+from repro.analysis.registry import Rule, RuleRegistry, default_registry
 from repro.errors import AnalysisError
 
-__all__ = ["Finding", "ModuleContext", "Report", "analyze_source",
-           "analyze_paths", "iter_python_files", "module_name_for_path"]
+__all__ = ["Finding", "ModuleContext", "ProjectContext", "Report",
+           "analyze_source", "analyze_paths", "iter_python_files",
+           "module_name_for_path"]
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s*\(\s*(?P<rules>[A-Za-z0-9_,\s]+)\s*\))?")
@@ -81,6 +89,46 @@ class ModuleContext:
                        getattr(node, "col_offset", 0), message)
 
 
+class ProjectContext:
+    """Every analyzed module at once, for whole-program rules."""
+
+    def __init__(self, contexts: Sequence[ModuleContext]):
+        self.contexts = list(contexts)
+        self.by_module: Dict[str, ModuleContext] = {
+            ctx.module: ctx for ctx in self.contexts}
+        self._symbols = None
+        self._resolver = None
+
+    @property
+    def symbols(self):
+        """Lazily-built project symbol table."""
+        if self._symbols is None:
+            from repro.analysis.symbols import SymbolTable
+            self._symbols = SymbolTable(
+                (ctx.module, ctx.path, ctx.tree) for ctx in self.contexts)
+        return self._symbols
+
+    @property
+    def resolver(self):
+        """Lazily-built call resolver over :attr:`symbols`."""
+        if self._resolver is None:
+            from repro.analysis.callgraph import CallResolver
+            self._resolver = CallResolver(self.symbols)
+        return self._resolver
+
+    def in_scope(self, rule: Rule) -> List[ModuleContext]:
+        """The modules a project rule should treat as analysis roots."""
+        return [ctx for ctx in self.contexts if rule.applies_to(ctx.module)]
+
+    def finding(self, rule_id: str, module: str, node: ast.AST,
+                message: str) -> Optional[Finding]:
+        """Finding anchored at ``node`` in ``module`` (None if unknown)."""
+        ctx = self.by_module.get(module)
+        if ctx is None:
+            return None
+        return ctx.finding(rule_id, node, message)
+
+
 class Report:
     """Outcome of one analyzer run."""
 
@@ -130,38 +178,74 @@ def module_name_for_path(path: str) -> str:
     return ".".join(tail)
 
 
-def analyze_source(source: str, *, module: str = "<string>",
-                   path: str = "<string>",
-                   registry: Optional[RuleRegistry] = None) -> List[Finding]:
-    """Run every applicable rule over ``source``; returns live findings."""
-    if registry is None:
-        registry = default_registry()
+def _parse_context(source: str, module: str, path: str) -> ModuleContext:
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         raise AnalysisError(
             f"{path}:{exc.lineno}: cannot parse: {exc.msg}") from exc
-    ctx = ModuleContext(module, path, tree, source)
-    suppressed = _suppressions(ctx.lines)
+    return ModuleContext(module, path, tree, source)
+
+
+def _run_rules(contexts: Sequence[ModuleContext],
+               registry: RuleRegistry) -> List[Finding]:
+    """Module rules per file, project rules once, suppressions applied."""
+    suppressed: Dict[str, Dict[int, Set[str]]] = {
+        ctx.path: _suppressions(ctx.lines) for ctx in contexts}
+
+    def live(finding: Finding) -> bool:
+        allowed = suppressed.get(finding.path, {}).get(finding.line, ())
+        return _ALL_RULES not in allowed and finding.rule_id not in allowed
+
     findings: List[Finding] = []
-    for rule in registry.rules():
-        if not rule.applies_to(module):
-            continue
-        for finding in rule.check(ctx):
-            allowed = suppressed.get(finding.line, ())
-            if _ALL_RULES in allowed or finding.rule_id in allowed:
+    project_rules = [rule for rule in registry.rules()
+                     if rule.requires_project]
+    for ctx in contexts:
+        for rule in registry.rules():
+            if rule.requires_project or not rule.applies_to(ctx.module):
                 continue
-            findings.append(finding)
+            findings.extend(finding for finding in rule.check(ctx)
+                            if live(finding))
+    if project_rules:
+        project = ProjectContext(contexts)
+        for rule in project_rules:
+            findings.extend(finding
+                            for finding in rule.check_project(project)
+                            if live(finding))
     findings.sort(key=Finding.sort_key)
     return findings
 
 
+def analyze_source(source: str, *, module: str = "<string>",
+                   path: str = "<string>",
+                   registry: Optional[RuleRegistry] = None) -> List[Finding]:
+    """Run every applicable rule over ``source``; returns live findings.
+
+    Project rules see a one-module project: cross-module resolution is
+    unavailable, which is exactly what fixture tests want.
+    """
+    if registry is None:
+        registry = default_registry()
+    ctx = _parse_context(source, module, path)
+    return _run_rules([ctx], registry)
+
+
 def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
-    """Expand files/directories into a deterministic list of ``.py`` files."""
+    """Expand files/directories into a deterministic list of ``.py`` files.
+
+    Every invalid argument is collected before raising, so a user fixing
+    a long command line sees all the bad paths at once, not one per run.
+    """
+    paths = list(paths)
+    missing = [path for path in paths
+               if not os.path.isfile(path) and not os.path.isdir(path)]
+    if missing:
+        raise AnalysisError("no such file or directory: " +
+                            ", ".join(repr(path) for path in missing))
     for path in paths:
         if os.path.isfile(path):
             yield path
-        elif os.path.isdir(path):
+        else:
             for dirpath, dirnames, filenames in os.walk(path):
                 dirnames.sort()
                 dirnames[:] = [d for d in dirnames
@@ -169,8 +253,6 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
                 for filename in sorted(filenames):
                     if filename.endswith(".py"):
                         yield os.path.join(dirpath, filename)
-        else:
-            raise AnalysisError(f"no such file or directory: {path!r}")
 
 
 def analyze_paths(paths: Iterable[str], *,
@@ -178,14 +260,10 @@ def analyze_paths(paths: Iterable[str], *,
     """Analyze every python file under ``paths``."""
     if registry is None:
         registry = default_registry()
-    findings: List[Finding] = []
-    count = 0
+    contexts: List[ModuleContext] = []
     for filepath in iter_python_files(paths):
-        count += 1
         with open(filepath, encoding="utf-8") as handle:
             source = handle.read()
-        findings.extend(analyze_source(
-            source, module=module_name_for_path(filepath), path=filepath,
-            registry=registry))
-    findings.sort(key=Finding.sort_key)
-    return Report(findings, count)
+        contexts.append(_parse_context(
+            source, module_name_for_path(filepath), filepath))
+    return Report(_run_rules(contexts, registry), len(contexts))

@@ -14,10 +14,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.diffs import changed_lines, filter_report
 from repro.analysis.engine import analyze_paths
 from repro.analysis.registry import default_registry
 from repro.analysis.reporters import (format_json, format_rule_listing,
-                                      format_text)
+                                      format_sarif, format_text)
 from repro.errors import AnalysisError
 
 __all__ = ["add_lint_arguments", "execute_lint", "main"]
@@ -28,23 +29,32 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyze "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=["text", "json"],
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
                         default="text", dest="output_format",
                         help="report format (default: text)")
+    parser.add_argument("--diff", metavar="BASE", default=None,
+                        help="report only findings on lines changed "
+                             "since the given git ref (the whole tree is "
+                             "still analyzed)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
 
 
 def execute_lint(paths: List[str], output_format: str = "text",
-                 list_rules: bool = False) -> int:
+                 list_rules: bool = False,
+                 diff_base: Optional[str] = None) -> int:
     """Run the analyzer; print a report; return the process exit status."""
     registry = default_registry()
     if list_rules:
         print(format_rule_listing(registry.rules()))
         return 0
     report = analyze_paths(paths, registry=registry)
+    if diff_base is not None:
+        report = filter_report(report, changed_lines(diff_base))
     if output_format == "json":
         print(format_json(report))
+    elif output_format == "sarif":
+        print(format_sarif(report, registry.rules()))
     else:
         print(format_text(report))
     return 1 if report.findings else 0
@@ -55,11 +65,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="protocol-aware static analysis: determinism, "
-                    "write-ahead-logging and sim-coroutine lints")
+                    "write-ahead-logging, recovery-completeness and "
+                    "sim-coroutine lints")
     add_lint_arguments(parser)
     args = parser.parse_args(argv)
     try:
-        return execute_lint(args.paths, args.output_format, args.list_rules)
+        return execute_lint(args.paths, args.output_format, args.list_rules,
+                            args.diff)
     except AnalysisError as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return 2

@@ -56,6 +56,10 @@ class Rule:
     rationale: str = ""
     scope: Optional[Tuple[str, ...]] = None
     exclude: Tuple[str, ...] = ()
+    #: Project rules see every analyzed module at once (symbol table,
+    #: call graph) and implement :meth:`check_project` instead of
+    #: :meth:`check`; ``scope`` then selects their analysis *roots*.
+    requires_project: bool = False
 
     @staticmethod
     def _matches(module: str, pattern: str) -> bool:
@@ -74,6 +78,10 @@ class Rule:
 
     def check(self, ctx: "ModuleContext") -> Iterator["Finding"]:
         """Yield findings for one module (override in subclasses)."""
+        raise NotImplementedError  # pragma: no cover
+
+    def check_project(self, project) -> Iterator["Finding"]:
+        """Yield findings for a whole project (project rules only)."""
         raise NotImplementedError  # pragma: no cover
 
 
@@ -123,10 +131,12 @@ def default_registry() -> RuleRegistry:
     """The registry holding every built-in rule family."""
     # Imported here so the registry module stays import-cycle-free.
     from repro.analysis.determinism import DETERMINISM_RULES
+    from repro.analysis.recovery import RECOVERY_RULES
     from repro.analysis.simrules import SIM_RULES
     from repro.analysis.wal import WAL_RULES
 
     registry = RuleRegistry()
-    for rule in (*DETERMINISM_RULES, *WAL_RULES, *SIM_RULES):
+    for rule in (*DETERMINISM_RULES, *WAL_RULES, *RECOVERY_RULES,
+                 *SIM_RULES):
         registry.register(rule)
     return registry

@@ -12,7 +12,8 @@ from typing import List
 from repro.analysis.engine import Report
 from repro.analysis.registry import Rule
 
-__all__ = ["format_text", "format_json", "format_rule_listing"]
+__all__ = ["format_text", "format_json", "format_sarif",
+           "format_rule_listing"]
 
 
 def format_text(report: Report) -> str:
@@ -38,6 +39,60 @@ def format_json(report: Report) -> str:
         "violations": len(report.findings),
         "findings": [finding.to_dict() for finding in report.findings],
     }, indent=2, sort_keys=True)
+
+
+def format_sarif(report: Report, rules: List[Rule]) -> str:
+    """SARIF 2.1.0 document, for GitHub code-scanning upload.
+
+    Every registered rule is listed in the driver metadata (so the rule
+    index is stable regardless of which rules fired), and each finding
+    becomes one ``result`` with a physical location.  Columns are
+    1-based in SARIF; findings carry 0-based columns internally.
+    """
+    rule_index = {rule.id: position for position, rule in enumerate(rules)}
+    results = []
+    for finding in report.findings:
+        result = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/ANALYSIS.md",
+                    "rules": [{
+                        "id": rule.id,
+                        "name": rule.name,
+                        "shortDescription": {"text": rule.summary},
+                        "fullDescription": {"text": rule.rationale},
+                        "defaultConfiguration": {"level": "error"},
+                    } for rule in rules],
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
 
 
 def format_rule_listing(rules: List[Rule]) -> str:

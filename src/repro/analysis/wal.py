@@ -4,44 +4,54 @@ The paper's central logging discipline (Sections 5.1–5.3): state a
 message *depends on* must reach stable storage before the message is
 sent, otherwise a crash between the send and the (never-happening) log
 leaves the cluster having observed state the sender no longer holds on
-recovery.  Formal treatments of atomic broadcast check exactly this kind
-of invariant with proof assistants; here we settle for a conservative
-intraprocedural dataflow pass.
+recovery.
 
 Protocol classes opt in by declaring the volatile mirrors of their
-durable state::
+durable state in a ``VOLATILE_FIELDS`` class attribute — see
+:data:`repro.analysis.symbols.VOLATILE_DECLARATION` and the catalogue in
+docs/ANALYSIS.md for the convention; the analyzer reads the declarations
+straight from each class (and, interprocedurally, from its whole MRO),
+so there is no second copy of any field list to drift out of date.
 
-    class PaxosConsensus(ConsensusService):
-        VOLATILE_FIELDS = ("_acceptor", "_attempt_counter")
+Two rules patrol the discipline at different depths:
 
-Within each method of such a class the rule tracks, in statement order,
-the set of declared fields mutated since the last stable-storage write
-(``storage.log`` / ``storage.append`` / ``self._store`` / ...).  If a
-transport send (``endpoint.send`` / ``endpoint.multisend``) is reachable
-while that set is non-empty, the send is flagged.  Branches are analyzed
-independently and merged by union; loop bodies get a second pass so a
-mutation late in the body reaches a send at its top.  The pass is
-intraprocedural: helper calls are opaque, so the discipline "mutate and
-log in the same helper" (as ``_set_acceptor_state`` does) is the pattern
-that keeps code clean under this rule.
+* **WAL001** is the intraprocedural contract: within one method, a
+  mutation of a declared field must reach a stable-storage write before
+  any transport send.  It runs on the per-function CFG with a worklist
+  fixpoint, so branches, loops and try/finally are handled by graph
+  reachability rather than ad-hoc walking.  Helper calls are opaque
+  (apart from the declared ``self._store``/``self.take_checkpoint``
+  barrier helpers), so "mutate and log inside the same helper" is the
+  clean pattern.
+* **WAL003** is the interprocedural contract: it resolves helper calls
+  through the project call graph (``self.helper()`` through the concrete
+  class's MRO, ``self.attr.m()`` through ``__init__`` annotations) and
+  summarizes each callee — which fields it leaves dirty, whether it
+  always writes a barrier, whether it can send before one.  A spawned
+  generator (``node.spawn(self._gossip_task(), ...)``) counts as a send
+  if the task can send before a barrier: the task body runs with
+  whatever dirt the spawner left behind.  Mutations whose value derives
+  from stable storage (``retrieve``/``_load`` reads, values just passed
+  to a log call) are *clean* — refilling a volatile cache from the log
+  is recovery, not new state.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.dataflow import ForwardProblem, solve_forward
+from repro.analysis.engine import Finding, ModuleContext, ProjectContext
 from repro.analysis.registry import Rule
+from repro.analysis.symbols import VOLATILE_DECLARATION, ClassInfo
 
 __all__ = ["WAL_RULES", "VOLATILE_DECLARATION"]
 
 #: Receiver-name tokens that identify a raw transport medium (WAL002).
 _RAW_MEDIUM_TOKENS = frozenset({"network", "medium", "transport", "channel",
                                 "link", "net"})
-
-#: Class attribute the rule reads to learn a class's volatile mirrors.
-VOLATILE_DECLARATION = "VOLATILE_FIELDS"
 
 _BARRIER_OPS = frozenset({"log", "append", "delete", "delete_prefix",
                           "flush", "sync"})
@@ -51,6 +61,19 @@ _SEND_RECEIVERS = ("endpoint", "network", "transport")
 _MUTATORS = frozenset({"append", "add", "update", "pop", "popitem", "clear",
                        "remove", "discard", "extend", "insert",
                        "setdefault", "sort"})
+
+#: Calls whose return value derives from stable storage (clean sources).
+_RETRIEVE_OPS = frozenset({"retrieve", "retrieve_list", "_load", "get"})
+#: Pure shape/coercion builtins: clean in, clean out.
+_CLEAN_BUILTINS = frozenset({"int", "float", "str", "bool", "tuple", "list",
+                             "dict", "set", "frozenset", "len", "min", "max",
+                             "sorted", "abs"})
+
+_OPAQUE_STMTS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+#: Pseudo-field standing for "dirt inherited from the caller" in
+#: summary-mode dataflow runs.
+_INHERITED = "<inherited>"
 
 
 def _attr_path(node: ast.AST) -> Tuple[str, ...]:
@@ -74,61 +97,172 @@ def _self_field(node: ast.AST) -> str:
     return ""
 
 
+def _position(node: ast.AST) -> Tuple[int, int]:
+    return (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+
+
+def _event_roots(stmt: ast.AST) -> Optional[List[ast.AST]]:
+    """Sub-expressions of a CFG node to scan for events.
+
+    ``None`` means "the whole statement"; compound headers contribute
+    only their test/iterable — their bodies are separate CFG nodes.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    return None
+
+
 class _Event:
-    """One ordered action inside a statement: mutate, barrier or send."""
+    """One ordered action inside a statement."""
 
-    __slots__ = ("kind", "field", "node")
+    __slots__ = ("kind", "field", "names", "value", "node")
 
-    def __init__(self, kind: str, field: str, node: ast.AST):
-        self.kind = kind
+    def __init__(self, kind: str, node: ast.AST, field: str = "",
+                 names: Tuple[str, ...] = (),
+                 value: Optional[ast.AST] = None):
+        self.kind = kind      # mutate | bind | barrier | send | call
         self.field = field
+        self.names = names
+        self.value = value
         self.node = node
 
     def position(self) -> Tuple[int, int]:
-        return (getattr(self.node, "lineno", 0),
-                getattr(self.node, "col_offset", 0))
+        return _position(self.node)
 
 
-def _statement_events(stmt: ast.stmt, fields: Set[str]) -> List[_Event]:
-    """Mutations/barriers/sends inside one simple statement, source order."""
+def _call_events(root: ast.AST) -> List[_Event]:
+    """Barrier/send/call events for every call under ``root``."""
     events: List[_Event] = []
-    if isinstance(stmt, (ast.Assign, ast.AugAssign)):
-        targets = stmt.targets if isinstance(stmt, ast.Assign) \
-            else [stmt.target]
+    for node in ast.walk(root):
+        if not isinstance(node, ast.Call):
+            continue
+        path = _attr_path(node.func)
+        attr = path[-1] if path else ""
+        receiver = path[:-1]
+        if attr in _BARRIER_OPS and \
+                any("storage" in part or part == "store"
+                    for part in receiver):
+            events.append(_Event("barrier", node))
+        elif attr in _SELF_BARRIERS and receiver[:1] == ("self",):
+            events.append(_Event("barrier", node))
+        elif attr in _SEND_OPS and \
+                any(part in _SEND_RECEIVERS for part in receiver):
+            events.append(_Event("send", node))
+        elif attr in _MUTATORS and len(path) == 3 and path[0] == "self":
+            events.append(_Event("mutate", node, field=path[1]))
+        else:
+            events.append(_Event("call", node))
+    return events
+
+
+def _assignment_events(stmt: ast.stmt) -> List[_Event]:
+    """Mutate (self-field) and bind (local name) events of one statement."""
+    events: List[_Event] = []
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        if isinstance(stmt, ast.Assign):
+            targets: Sequence[ast.expr] = stmt.targets
+            value: Optional[ast.AST] = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        else:  # AugAssign: the new value depends on the old — never clean
+            targets, value = [stmt.target], None
         for target in targets:
             elts = target.elts if isinstance(target, (ast.Tuple, ast.List)) \
                 else [target]
             for elt in elts:
                 field = _self_field(elt)
-                if field in fields:
-                    events.append(_Event("mutate", field, elt))
+                if field:
+                    events.append(_Event("mutate", elt, field=field,
+                                         value=value))
+                elif isinstance(elt, ast.Name):
+                    events.append(_Event("bind", elt, names=(elt.id,),
+                                         value=value))
     elif isinstance(stmt, ast.Delete):
         for target in stmt.targets:
             field = _self_field(target)
-            if field in fields:
-                events.append(_Event("mutate", field, target))
-    for node in ast.walk(stmt):
-        if not isinstance(node, ast.Call):
-            continue
-        path = _attr_path(node.func)
-        if not path:
-            continue
-        attr = path[-1]
-        receiver = path[:-1]
-        if attr in _SEND_OPS and \
-                any(part in _SEND_RECEIVERS for part in receiver):
-            events.append(_Event("send", "", node))
-        elif attr in _BARRIER_OPS and \
-                any("storage" in part or part == "store"
-                    for part in receiver):
-            events.append(_Event("barrier", "", node))
-        elif attr in _SELF_BARRIERS and receiver[:1] == ("self",):
-            events.append(_Event("barrier", "", node))
-        elif attr in _MUTATORS and len(path) == 3 and path[0] == "self" \
-                and path[1] in fields:
-            events.append(_Event("mutate", path[1], node))
+            if field:
+                events.append(_Event("mutate", target, field=field))
+    return events
+
+
+def _node_events(cfg_node: CFGNode) -> List[_Event]:
+    """Source-ordered events of one CFG node (empty for opaque nodes)."""
+    stmt = cfg_node.stmt
+    if stmt is None or isinstance(stmt, _OPAQUE_STMTS):
+        return []
+    roots = _event_roots(stmt)
+    if roots is None:
+        events = _assignment_events(stmt) + _call_events(stmt)
+    else:
+        events = []
+        for root in roots:
+            events.extend(_call_events(root))
     events.sort(key=_Event.position)
     return events
+
+
+def _declared_fields(class_node: ast.ClassDef) -> Set[str]:
+    """The class's own ``VOLATILE_FIELDS`` declaration (no inheritance)."""
+    for stmt in class_node.body:
+        targets: Sequence[ast.expr] = ()
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) \
+                    and target.id == VOLATILE_DECLARATION \
+                    and isinstance(value, (ast.Tuple, ast.List)):
+                return {elt.value for elt in value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)}
+    return set()
+
+
+def _dirty_description(dirty: frozenset) -> str:
+    """``'f' (mutated line N)`` per field, earliest mutation first."""
+    earliest: Dict[str, int] = {}
+    for field, line in dirty:
+        if field == _INHERITED:
+            continue
+        if field not in earliest or line < earliest[field]:
+            earliest[field] = line
+    return ", ".join(f"{name!r} (mutated line {line})"
+                     for name, line in sorted(earliest.items()))
+
+
+# -- WAL001: intraprocedural log-before-send ---------------------------------
+
+class _Wal001Problem(ForwardProblem):
+    """State: frozenset of (field, mutation line)."""
+
+    def __init__(self, fields: Set[str],
+                 events: Dict[int, List[_Event]]):
+        self.fields = fields
+        self.events = events
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left | right
+
+    def transfer(self, node: CFGNode, state):
+        for event in self.events.get(node.index, ()):
+            if event.kind == "mutate" and event.field in self.fields:
+                state = state | {(event.field, event.position()[0])}
+            elif event.kind == "barrier":
+                state = frozenset()
+        return state
 
 
 class WriteAheadSendRule(Rule):
@@ -149,7 +283,7 @@ class WriteAheadSendRule(Rule):
         for class_node in ctx.tree.body:
             if not isinstance(class_node, ast.ClassDef):
                 continue
-            fields = self._declared_fields(class_node)
+            fields = _declared_fields(class_node)
             if not fields:
                 continue
             for item in class_node.body:
@@ -157,81 +291,366 @@ class WriteAheadSendRule(Rule):
                     yield from self._check_method(ctx, class_node, item,
                                                   fields)
 
-    @staticmethod
-    def _declared_fields(class_node: ast.ClassDef) -> Set[str]:
-        for stmt in class_node.body:
-            targets: Sequence[ast.expr] = ()
-            value = None
-            if isinstance(stmt, ast.Assign):
-                targets, value = stmt.targets, stmt.value
-            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
-                targets, value = [stmt.target], stmt.value
-            for target in targets:
-                if isinstance(target, ast.Name) \
-                        and target.id == VOLATILE_DECLARATION \
-                        and isinstance(value, (ast.Tuple, ast.List)):
-                    return {elt.value for elt in value.elts
-                            if isinstance(elt, ast.Constant)
-                            and isinstance(elt.value, str)}
-        return set()
-
     def _check_method(self, ctx: ModuleContext, class_node: ast.ClassDef,
                       method: ast.AST, fields: Set[str]) -> Iterator[Finding]:
+        cfg = build_cfg(method)
+        events = {node.index: _node_events(node) for node in cfg.nodes}
+        problem = _Wal001Problem(fields, events)
+        states = solve_forward(cfg, problem)
         findings: Dict[Tuple[int, int], Finding] = {}
-        method_name = getattr(method, "name", "<method>")
-
-        def walk_block(stmts: Sequence[ast.stmt],
-                       dirty: Dict[str, int]) -> Dict[str, int]:
-            for stmt in stmts:
-                dirty = walk_stmt(stmt, dirty)
-            return dirty
-
-        def walk_stmt(stmt: ast.stmt,
-                      dirty: Dict[str, int]) -> Dict[str, int]:
-            if isinstance(stmt, ast.If):
-                then = walk_block(stmt.body, dict(dirty))
-                other = walk_block(stmt.orelse, dict(dirty))
-                return {**then, **other}
-            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
-                # Two passes: a mutation late in the body must be dirty
-                # when control returns to a send at the top.
-                once = walk_block(stmt.body, dict(dirty))
-                twice = walk_block(stmt.body, {**dirty, **once})
-                tail = walk_block(stmt.orelse, {**dirty, **twice})
-                return {**dirty, **twice, **tail}
-            if isinstance(stmt, (ast.With, ast.AsyncWith)):
-                return walk_block(stmt.body, dirty)
-            if isinstance(stmt, ast.Try):
-                out = walk_block(stmt.body, dict(dirty))
-                for handler in stmt.handlers:
-                    out = {**out, **walk_block(handler.body, dict(dirty))}
-                out = {**out, **walk_block(stmt.orelse, dict(out))}
-                return walk_block(stmt.finalbody, out)
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.ClassDef)):
-                return dirty  # nested scopes are out of this pass
-            for event in _statement_events(stmt, fields):
-                if event.kind == "mutate":
-                    dirty.setdefault(event.field, event.position()[0])
+        for node in cfg.nodes:
+            if node.index not in states:
+                continue  # unreachable
+            dirty = states[node.index]
+            for event in events[node.index]:
+                if event.kind == "mutate" and event.field in fields:
+                    dirty = dirty | {(event.field, event.position()[0])}
                 elif event.kind == "barrier":
-                    dirty = {}
+                    dirty = frozenset()
                 elif event.kind == "send" and dirty:
                     position = event.position()
                     if position not in findings:
-                        summary = ", ".join(
-                            f"{name!r} (mutated line {line})"
-                            for name, line in sorted(dirty.items()))
                         findings[position] = ctx.finding(
                             self.id, event.node,
-                            f"{class_node.name}.{method_name}: transport "
-                            f"send reachable after mutating volatile "
-                            f"field(s) {summary} with no stable-storage "
-                            f"write in between")
-            return dirty
-
-        walk_block(getattr(method, "body", []), {})
+                            f"{class_node.name}."
+                            f"{getattr(method, 'name', '<method>')}: "
+                            f"transport send reachable after mutating "
+                            f"volatile field(s) {_dirty_description(dirty)} "
+                            f"with no stable-storage write in between")
         for position in sorted(findings):
             yield findings[position]
+
+
+# -- WAL003: interprocedural persist-before-send ------------------------------
+
+def _is_clean(expr: Optional[ast.AST], clean: frozenset) -> bool:
+    """True if ``expr``'s value cannot carry unlogged volatile state.
+
+    Clean sources: constants, names proven clean on this path, reads of
+    ``self`` attributes, stable-storage reads (``retrieve``/``_load``),
+    and pure coercions/containers of clean values.  Arithmetic
+    (``retrieve(...) + 1``) is *not* clean — the result differs from
+    anything on disk.
+    """
+    if expr is None:
+        return False
+    if isinstance(expr, ast.Constant):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in clean
+    if isinstance(expr, ast.Attribute):
+        path = _attr_path(expr)
+        return bool(path) and path[0] == "self"
+    if isinstance(expr, ast.Subscript):
+        return _is_clean(expr.value, clean)
+    if isinstance(expr, ast.Starred):
+        return _is_clean(expr.value, clean)
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        return all(_is_clean(elt, clean) for elt in expr.elts)
+    if isinstance(expr, ast.Dict):
+        return all(_is_clean(key, clean) for key in expr.keys
+                   if key is not None) and \
+            all(_is_clean(value, clean) for value in expr.values)
+    if isinstance(expr, ast.IfExp):
+        return _is_clean(expr.body, clean) and _is_clean(expr.orelse, clean)
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute) and func.attr in _RETRIEVE_OPS:
+            return True
+        if isinstance(func, ast.Name) and func.id in _CLEAN_BUILTINS:
+            return all(_is_clean(arg, clean) for arg in expr.args)
+        return False
+    return False
+
+
+class _Summary:
+    """Effect summary of one (concrete class, method) pair."""
+
+    __slots__ = ("exit_dirty", "must_barrier", "sends_before_barrier")
+
+    def __init__(self, exit_dirty: frozenset, must_barrier: bool,
+                 sends_before_barrier: bool):
+        #: Declared fields possibly left dirty when the callee returns.
+        self.exit_dirty = exit_dirty
+        #: True if every path through the callee writes a barrier.
+        self.must_barrier = must_barrier
+        #: True if a send is reachable while caller-inherited dirt is
+        #: still unlogged.
+        self.sends_before_barrier = sends_before_barrier
+
+
+_NEUTRAL = _Summary(frozenset(), False, False)
+
+
+class _FunctionRun:
+    """Per-function analysis context (one concrete class, one method)."""
+
+    __slots__ = ("module", "concrete", "defining", "fields", "mode",
+                 "sends_before", "emit")
+
+    def __init__(self, module: str, concrete: Optional[ClassInfo],
+                 defining: Optional[ClassInfo], fields: frozenset,
+                 mode: str, emit=None):
+        self.module = module
+        self.concrete = concrete
+        self.defining = defining
+        self.fields = fields
+        self.mode = mode
+        self.sends_before = False
+        self.emit = emit
+
+
+class _WalProblem(ForwardProblem):
+    """State: (dirty frozenset of (field, line), clean frozenset of names)."""
+
+    def __init__(self, analysis: "_InterProc", run: _FunctionRun,
+                 events: Dict[int, List[_Event]]):
+        self.analysis = analysis
+        self.run = run
+        self.events = events
+
+    def initial(self):
+        dirty = frozenset({(_INHERITED, 0)}) \
+            if self.run.mode == "summary" else frozenset()
+        return (dirty, frozenset())
+
+    def join(self, left, right):
+        return (left[0] | right[0], left[1] & right[1])
+
+    def transfer(self, node: CFGNode, state):
+        return self.analysis.walk(self.events.get(node.index, ()),
+                                  state, self.run, emit=False)
+
+
+class _InterProc:
+    """Summary-based interprocedural persist-before-send analysis."""
+
+    def __init__(self, project: ProjectContext):
+        self.project = project
+        self.symbols = project.symbols
+        self.resolver = project.resolver
+        self.summaries: Dict[tuple, _Summary] = {}
+        self.in_progress: Set[tuple] = set()
+        self.resolution_cache: Dict[tuple, list] = {}
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve(self, call: ast.Call, run: _FunctionRun) -> list:
+        key = (id(call),
+               run.concrete.qualname if run.concrete else "",
+               run.defining.qualname if run.defining else "")
+        cached = self.resolution_cache.get(key)
+        if cached is None:
+            cached = self.resolver.resolve(call, run.module, run.concrete,
+                                           run.defining)
+            self.resolution_cache[key] = cached
+        return cached
+
+    # -- summaries ---------------------------------------------------------
+
+    def summary_of(self, resolved) -> _Summary:
+        key = resolved.key()
+        cached = self.summaries.get(key)
+        if cached is not None:
+            return cached
+        if key in self.in_progress:
+            return _NEUTRAL  # recursion: assume nothing
+        self.in_progress.add(key)
+        try:
+            summary = self._compute_summary(resolved)
+        finally:
+            self.in_progress.discard(key)
+        self.summaries[key] = summary
+        return summary
+
+    def _compute_summary(self, resolved) -> _Summary:
+        concrete = resolved.concrete
+        defining = resolved.defining
+        module = defining.module if defining is not None else \
+            (concrete.module if concrete is not None else "")
+        if not module:
+            # A module-level function: find its home for import context.
+            for name, symbols in self.symbols.modules.items():
+                if resolved.func in symbols.functions.values():
+                    module = name
+                    break
+        fields = frozenset(self.symbols.volatile_fields(concrete.qualname)) \
+            if concrete is not None else frozenset()
+        run = _FunctionRun(module, concrete, defining, fields, "summary")
+        states, cfg = self._solve(resolved.func, run)
+        exit_state = states.get(cfg.exit.index)
+        if exit_state is None:
+            # The function never returns (while True service loop):
+            # nothing flows back to the caller.
+            return _Summary(frozenset(), True, run.sends_before)
+        dirty_fields = {field for field, _ in exit_state[0]}
+        return _Summary(
+            frozenset(dirty_fields - {_INHERITED}),
+            _INHERITED not in dirty_fields,
+            run.sends_before)
+
+    # -- the core walk -----------------------------------------------------
+
+    def _solve(self, func: ast.AST, run: _FunctionRun):
+        cfg = build_cfg(func)
+        events = {node.index: _node_events(node) for node in cfg.nodes}
+        problem = _WalProblem(self, run, events)
+        states = solve_forward(cfg, problem)
+        if run.emit is not None:
+            for node in cfg.nodes:
+                if node.index in states:
+                    self.walk(events[node.index], states[node.index], run,
+                              emit=True)
+        return states, cfg
+
+    def analyze_root(self, module: str, concrete: ClassInfo,
+                     defining: ClassInfo, func: ast.AST, emit) -> None:
+        fields = frozenset(self.symbols.volatile_fields(concrete.qualname))
+        run = _FunctionRun(module, concrete, defining, fields, "root",
+                          emit=emit)
+        self._solve(func, run)
+
+    def walk(self, events: Sequence[_Event], state, run: _FunctionRun,
+             emit: bool):
+        dirty, clean = state
+        for event in events:
+            if event.kind == "mutate":
+                if event.field in run.fields and \
+                        not _is_clean(event.value, clean):
+                    dirty = dirty | {(event.field, event.position()[0])}
+            elif event.kind == "bind":
+                if _is_clean(event.value, clean):
+                    clean = clean | frozenset(event.names)
+                else:
+                    clean = clean - frozenset(event.names)
+            elif event.kind == "barrier":
+                dirty = frozenset()
+                logged = frozenset(
+                    arg.id for arg in event.node.args
+                    if isinstance(arg, ast.Name))
+                clean = clean | logged
+            elif event.kind == "send":
+                self._note_send(event, dirty, run, emit, callee=None)
+            elif event.kind == "call":
+                dirty, clean = self._apply_call(event, dirty, clean, run,
+                                                emit)
+        return (dirty, clean)
+
+    def _apply_call(self, event: _Event, dirty, clean, run: _FunctionRun,
+                    emit: bool):
+        targets = self.resolve(event.node, run)
+        if not targets:
+            return dirty, clean  # opaque: unknown code, assume no effects
+        summaries = [self.summary_of(target) for target in targets]
+        if dirty and any(s.sends_before_barrier for s in summaries):
+            sender = next(target for target, s in zip(targets, summaries)
+                          if s.sends_before_barrier)
+            self._note_send(event, dirty, run, emit, callee=sender)
+        if all(s.must_barrier for s in summaries):
+            dirty = frozenset()
+        line = event.position()[0]
+        for target, summary in zip(targets, summaries):
+            if target.receiver == "self":
+                dirty = dirty | {(field, line)
+                                 for field in summary.exit_dirty}
+        return dirty, clean
+
+    def _note_send(self, event: _Event, dirty, run: _FunctionRun,
+                   emit: bool, callee) -> None:
+        if not dirty:
+            return
+        if run.mode == "summary":
+            if any(field == _INHERITED for field, _ in dirty):
+                run.sends_before = True
+            return
+        if not emit or run.emit is None:
+            return
+        description = _dirty_description(dirty)
+        if not description:
+            return
+        owner = run.defining.name if run.defining else "<module>"
+        where = f"{owner}.{getattr(run.emit, 'func_name', '?')}"
+        if run.concrete is not None and run.concrete.name != owner:
+            where += f" (analyzed as {run.concrete.name})"
+        if callee is None:
+            message = (f"{where}: transport send reachable with volatile "
+                       f"field(s) {description} unlogged on some path")
+        else:
+            message = (f"{where}: call to {callee.name}() can send before "
+                       f"any stable-storage write while volatile field(s) "
+                       f"{description} are dirty")
+        run.emit(run, event.node, message)
+
+
+class InterprocWalRule(Rule):
+    """WAL003: flow-sensitive persist-before-send across helpers."""
+
+    id = "WAL003"
+    name = "persist-before-send"
+    summary = ("on some path, a volatile-field mutation reaches a "
+               "transport send (possibly through helpers or a spawned "
+               "task) with no stable-storage write in between")
+    rationale = ("Figures 2/3 log *then* broadcast; a helper boundary "
+                 "does not change the crash window.  Resolving calls "
+                 "through the concrete class's MRO is what lets the rule "
+                 "see that on_start's spawned gossip task advertises the "
+                 "incarnation counter, so the counter must be logged "
+                 "before the spawn.")
+    scope = ("repro.core", "repro.consensus")
+    requires_project = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        wal001 = WriteAheadSendRule()
+        taken: Set[Tuple[str, int, int]] = set()
+        for ctx in project.in_scope(wal001):
+            for finding in wal001.check(ctx):
+                taken.add((finding.path, finding.line, finding.col))
+        interproc = _InterProc(project)
+        findings: Dict[Tuple[str, int, int], Finding] = {}
+
+        def emit(run: _FunctionRun, node: ast.AST, message: str) -> None:
+            anchor_module = run.defining.module if run.defining else \
+                run.module
+            finding = project.finding(self.id, anchor_module, node, message)
+            if finding is None:
+                return
+            key = (finding.path, finding.line, finding.col)
+            if key in taken or key in findings:
+                return
+            findings[key] = finding
+
+        for ctx in project.in_scope(self):
+            symbols = project.symbols.modules.get(ctx.module)
+            if symbols is None:
+                continue
+            for class_info in symbols.classes.values():
+                fields = project.symbols.volatile_fields(class_info.qualname)
+                if not fields:
+                    continue
+                methods: Dict[str, Tuple[ClassInfo, ast.AST]] = {}
+                for ancestor in project.symbols.mro(class_info.qualname):
+                    for name, func in ancestor.methods.items():
+                        methods.setdefault(name, (ancestor, func))
+                for name in sorted(methods):
+                    owner, func = methods[name]
+                    run_emit = _NamedEmit(emit, name)
+                    interproc.analyze_root(owner.module, class_info, owner,
+                                           func, run_emit)
+        for key in sorted(findings):
+            yield findings[key]
+
+
+class _NamedEmit:
+    """Binds the analyzed method's name into emitted messages."""
+
+    __slots__ = ("emit", "func_name")
+
+    def __init__(self, emit, func_name: str):
+        self.emit = emit
+        self.func_name = func_name
+
+    def __call__(self, run, node, message):
+        self.emit(run, node, message)
 
 
 class DirectTransportSendRule(Rule):
@@ -272,4 +691,5 @@ class DirectTransportSendRule(Rule):
                     f"through the node's Endpoint component instead")
 
 
-WAL_RULES = (WriteAheadSendRule(), DirectTransportSendRule())
+WAL_RULES = (WriteAheadSendRule(), DirectTransportSendRule(),
+             InterprocWalRule())

@@ -141,7 +141,7 @@ class ChandraTouegConsensus(ConsensusService):
         existing = self._proposals.get(k)
         if existing is None:
             self._proposals[k] = value
-        self._activate(k)
+        self._activate(k)  # repro: noqa(WAL003) -- crash-stop model: no stable storage by design ([3])
 
     def proposal_of(self, k: int) -> Optional[Any]:
         return self._proposals.get(k)
@@ -193,7 +193,8 @@ class ChandraTouegConsensus(ConsensusService):
             # correct process receives the decision even if the sender
             # crashed mid-multisend.
             self._record_decision(msg.k, msg.value)
-            self.endpoint.multisend(CTDecide(msg.k, msg.value))
+            self.endpoint.multisend(  # repro: noqa(WAL003) -- crash-stop model: decisions are volatile by design
+                CTDecide(msg.k, msg.value))
 
     # -- driver ----------------------------------------------------------------------
 
@@ -262,7 +263,8 @@ class ChandraTouegConsensus(ConsensusService):
                 if len(state.acks.get(round_no, set())) >= self._quorum():
                     decision = state.proposals[round_no]
                     self._record_decision(k, decision)
-                    self.endpoint.multisend(CTDecide(k, decision))
+                    self.endpoint.multisend(  # repro: noqa(WAL003) -- crash-stop model: decisions are volatile by design
+                        CTDecide(k, decision))
                     break
             round_no += 1
         self._drivers.discard(k)

@@ -244,7 +244,7 @@ class PaxosConsensus(ConsensusService):
         existing = self._proposals.get(k)
         if existing is None:
             self._proposals[k] = value
-        self._activate(k)
+        self._activate(k)  # repro: noqa(WAL003) -- non-durable mode models crash-stop: no WAL by design; durable mode takes the super().propose path
 
     def proposal_of(self, k: int) -> Optional[Any]:
         if self.durable:
@@ -346,7 +346,8 @@ class PaxosConsensus(ConsensusService):
         attempt.accepts.add(sender)
         if len(attempt.accepts) >= self._quorum():
             self._record_decision(msg.k, attempt.value)
-            self.endpoint.multisend(Decide(msg.k, attempt.value))
+            self.endpoint.multisend(  # repro: noqa(WAL003) -- decision is logged in durable mode; non-durable mode models crash-stop
+                Decide(msg.k, attempt.value))
 
     def _on_nack(self, msg: Nack, sender: int) -> None:
         attempt = self._attempts.get(msg.k)

@@ -138,7 +138,15 @@ class BasicAtomicBroadcast(NodeComponent):
         assert self.node is not None
         self.incarnation = int(self.node.storage.retrieve(
             self.INCARNATION_KEY, 0)) + 1
-        self.node.storage.log(self.INCARNATION_KEY, self.incarnation)
+        self.log_before_send(self.INCARNATION_KEY, self.incarnation)
+
+    def log_before_send(self, key, value) -> None:
+        """Write-ahead barrier: persist ``value`` under ``key`` before any
+        message depending on it leaves this node.  The incarnation must be
+        on disk before on_start spawns the gossip/sequencer tasks — they
+        advertise it in every message id."""
+        assert self.node is not None
+        self.node.storage.log(key, value)
 
     def _restore_volatile_state(self) -> None:
         """Hook for subclasses: load checkpointed state before replay.

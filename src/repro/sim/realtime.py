@@ -42,8 +42,8 @@ class RealTimeRunner:
     def __init__(self, sim: Simulator, time_scale: float = 1.0,
                  # Sanctioned wall-clock boundary: pacing only — the event
                  # *schedule* stays a pure function of the seed.
-                 sleep: Callable[[float], None] = time.sleep,  # repro: noqa(DET001)
-                 clock: Callable[[], float] = time.monotonic):  # repro: noqa(DET001)
+                 sleep: Callable[[float], None] = time.sleep,  # repro: noqa(DET001) -- pacing only, injectable
+                 clock: Callable[[], float] = time.monotonic):  # repro: noqa(DET001) -- pacing only, injectable
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
         self.sim = sim

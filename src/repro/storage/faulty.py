@@ -81,7 +81,7 @@ class FaultyStorage(StableStorage):
         super().__init__()
         self.inner = inner
         self.metrics = inner.metrics  # single accounting stream
-        self.rng = rng or random.Random(0)  # repro: noqa(DET004)
+        self.rng = rng or random.Random(0)  # repro: noqa(DET004) -- fixed default seed; tests inject their own
         self.fail_rate = fail_rate
         self.torn_rate = torn_rate
         self.node_hint = node_hint

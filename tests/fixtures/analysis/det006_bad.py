@@ -1,0 +1,16 @@
+"""DET006 negative fixture: wall-clock taint reaches a message payload.
+
+The chaos package may read the wall clock (it sits outside the DET001
+scope), but the value must never *escape* into a message: the receiver's
+behaviour then depends on host time and the trace cannot be replayed
+from the seed.  The finding anchors at the ``endpoint.send`` call
+(line 16), not at the clock read.
+"""
+
+import time
+
+
+class Injector:
+    def on_tick(self):
+        jitter = time.monotonic()
+        self.endpoint.send(0, ("probe", jitter))

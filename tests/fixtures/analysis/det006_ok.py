@@ -1,0 +1,22 @@
+"""DET006 near-miss fixture: the tainted name is re-bound before the
+send.
+
+The wall-clock value is observed (for logging) but the name is then
+overwritten with a draw from a seeded stream; the payload that leaves
+the node is a pure function of the seed.  Staying silent here requires
+flow-sensitivity — a name-based grep would still see ``jitter`` born
+from ``time.monotonic()``.
+"""
+
+import time
+
+
+class Injector:
+    def on_tick(self):
+        jitter = time.monotonic()
+        self.record_wallclock(jitter)
+        jitter = self.rng.uniform(0.0, 1.0)
+        self.endpoint.send(0, ("probe", jitter))
+
+    def record_wallclock(self, value):
+        self.last_wallclock = value

@@ -1,0 +1,20 @@
+"""REC001 negative fixture: a key written but never recovered.
+
+``on_view_change`` logs the current view durably, but no path reachable
+from ``on_start`` ever reads it back — after a crash the log entry is
+dead weight and the view silently resets.  The finding anchors at the
+``storage.log`` call (line 20).
+"""
+
+
+class Proto:
+    EPOCH_KEY = ("proto", "epoch")
+    VIEW_KEY = ("proto", "view")
+
+    def on_start(self):
+        self.epoch = self.node.storage.retrieve(self.EPOCH_KEY, 0)
+        self.node.storage.log(self.EPOCH_KEY, self.epoch + 1)
+
+    def on_view_change(self, view):
+        self.view = view
+        self.node.storage.log(self.VIEW_KEY, view)

@@ -1,0 +1,26 @@
+"""REC001 near-miss fixture: the read-back is lazy, via a handler.
+
+The view key is still never read *directly* in ``on_start`` — it is read
+inside ``_on_view``, which ``on_start`` registers as a message handler.
+The handler is reachable the moment recovery completes, so it belongs
+to the recovery closure and the write is accounted for.  A rule that
+only scanned ``on_start``'s own body would (wrongly) flag this.
+"""
+
+
+class Proto:
+    EPOCH_KEY = ("proto", "epoch")
+    VIEW_KEY = ("proto", "view")
+
+    def on_start(self):
+        self.epoch = self.node.storage.retrieve(self.EPOCH_KEY, 0)
+        self.node.storage.log(self.EPOCH_KEY, self.epoch + 1)
+        self.endpoint.register("view", self._on_view)
+
+    def _on_view(self, msg, sender):
+        current = self.node.storage.retrieve(self.VIEW_KEY, None)
+        self.view = current if current is not None else msg.view
+
+    def on_view_change(self, view):
+        self.view = view
+        self.node.storage.log(self.VIEW_KEY, view)

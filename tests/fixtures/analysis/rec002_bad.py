@@ -1,0 +1,14 @@
+"""REC002 negative fixture: recovery reads a key nobody writes.
+
+``on_start`` retrieves an epoch that no code path ever logs — the read
+"works" only through the retrieve default, which usually means the
+write side was renamed or deleted.  The finding anchors at the
+``storage.retrieve`` call (line 14).
+"""
+
+
+class Proto:
+    EPOCH_KEY = ("proto", "epoch")
+
+    def on_start(self):
+        self.epoch = self.node.storage.retrieve(self.EPOCH_KEY, 0)

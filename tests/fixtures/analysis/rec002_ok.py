@@ -1,0 +1,20 @@
+"""REC002 near-miss fixture: the write hides behind a key-forwarding
+helper.
+
+Nothing calls ``storage.log`` with the epoch key *textually* — the
+write goes through ``_persist``, which forwards its ``key`` parameter
+to storage.  Staying silent here requires the helper pass: the
+``_persist(self.EPOCH_KEY, ...)`` call site supplies the concrete key
+pattern that satisfies the read.
+"""
+
+
+class Proto:
+    EPOCH_KEY = ("proto", "epoch")
+
+    def on_start(self):
+        self.epoch = self.node.storage.retrieve(self.EPOCH_KEY, 0)
+        self._persist(self.EPOCH_KEY, self.epoch + 1)
+
+    def _persist(self, key, value):
+        self.node.storage.log(key, value)

@@ -1,0 +1,26 @@
+"""WAL003 near-miss fixture: same call chain, but persisted first.
+
+Identical shape to ``wal003_bad.py`` except ``on_msg`` routes through a
+helper that writes the field to stable storage before the reply chain
+runs.  The barrier lives in a *callee* (``_persist``), so staying silent
+here requires the summary analysis to know that every path through
+``_persist`` reaches a storage write.
+"""
+
+
+class Proto:
+    VOLATILE_FIELDS = ("state",)
+
+    def on_msg(self, msg, sender):
+        self.state = msg.value
+        self._persist()
+        self._reply(sender)
+
+    def _persist(self):
+        self.node.storage.log(("proto", "state"), self.state)
+
+    def _reply(self, sender):
+        self._transmit(sender)
+
+    def _transmit(self, sender):
+        self.endpoint.send(sender, "ack")

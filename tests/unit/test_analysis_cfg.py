@@ -1,0 +1,198 @@
+"""CFG construction edge cases (repro.analysis.cfg).
+
+Each test asserts the *complete* edge list of a small function against
+the expected graph, so a regression in jump routing or merge handling
+shows up as a readable diff of ``(src, dst)`` pairs rather than a
+downstream rule misfire.  Labels are ``L<lineno>:<StatementType>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(node for node in tree.body
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)))
+    return build_cfg(func)
+
+
+# -- try/finally with a return inside the try ---------------------------------
+
+def test_try_finally_with_return_inside_try():
+    cfg = cfg_of("""
+        def f(x):
+            try:
+                if x:
+                    return 1
+                touch()
+            finally:
+                cleanup()
+            tail()
+    """)
+    # The return (L5) must route *through* the merged finally body (L8),
+    # which then both forwards the return to exit and falls through to
+    # the statement after the try (L9).
+    assert cfg.edges() == [
+        ("L4:If", "L5:Return"),
+        ("L4:If", "L6:Expr"),
+        ("L5:Return", "L8:Expr"),
+        ("L6:Expr", "L8:Expr"),
+        ("L8:Expr", "L9:Expr"),
+        ("L8:Expr", "exit"),
+        ("L9:Expr", "exit"),
+        ("entry", "L4:If"),
+    ]
+
+
+def test_try_except_edges_every_body_statement_to_handler():
+    cfg = cfg_of("""
+        def f():
+            before()
+            try:
+                first()
+                second()
+            except ValueError:
+                recover()
+            tail()
+    """)
+    # Any statement of the try body may raise: both L5 and L6 edge into
+    # the handler head; the try construct itself is transparent.
+    assert cfg.edges() == [
+        ("L3:Expr", "L5:Expr"),
+        ("L5:Expr", "L6:Expr"),
+        ("L5:Expr", "L7:ExceptHandler"),
+        ("L6:Expr", "L7:ExceptHandler"),
+        ("L6:Expr", "L9:Expr"),
+        ("L7:ExceptHandler", "L8:Expr"),
+        ("L8:Expr", "L9:Expr"),
+        ("L9:Expr", "exit"),
+        ("entry", "L3:Expr"),
+    ]
+
+
+# -- nested generators --------------------------------------------------------
+
+def test_nested_generator_is_one_opaque_node():
+    cfg = cfg_of("""
+        def outer(items):
+            def inner():
+                yield 1
+            yield from inner()
+            done()
+    """)
+    # The nested def is a single opaque node: its body contributes no
+    # nodes, no edges, and — crucially — no boundary flag (the yield on
+    # L4 belongs to inner's scope, not outer's).
+    assert cfg.edges() == [
+        ("L3:FunctionDef", "L5:Expr"),
+        ("L5:Expr", "L6:Expr"),
+        ("L6:Expr", "exit"),
+        ("entry", "L3:FunctionDef"),
+    ]
+    assert cfg.boundary_labels() == ["L5:Expr"]  # the yield-from only
+
+
+# -- while True with break ----------------------------------------------------
+
+def test_while_true_with_break_has_no_false_exit():
+    cfg = cfg_of("""
+        def f(q):
+            while True:
+                item = q.get()
+                if item is None:
+                    break
+                emit(item)
+            drain()
+    """)
+    # The only way to L8 (after the loop) is the break on L6 — there is
+    # deliberately NO ("L3:While", "L8:Expr") edge, so state at a send
+    # inside the loop is never mistaken for the loop-exit state.
+    assert cfg.edges() == [
+        ("L3:While", "L4:Assign"),
+        ("L4:Assign", "L5:If"),
+        ("L5:If", "L6:Break"),
+        ("L5:If", "L7:Expr"),
+        ("L6:Break", "L8:Expr"),
+        ("L7:Expr", "L3:While"),
+        ("L8:Expr", "exit"),
+        ("entry", "L3:While"),
+    ]
+
+
+# -- match statements ---------------------------------------------------------
+
+@pytest.mark.skipif(sys.version_info < (3, 10),
+                    reason="match statements need python 3.10+")
+def test_match_with_irrefutable_case_does_not_fall_through():
+    cfg = cfg_of("""
+        def f(msg):
+            match msg:
+                case ("get", k):
+                    fetch(k)
+                case _:
+                    fallback()
+            tail()
+    """)
+    # ``case _:`` always matches, so the match head must NOT edge
+    # straight to L8 — every path goes through one of the case bodies.
+    assert cfg.edges() == [
+        ("L3:Match", "L5:Expr"),
+        ("L3:Match", "L7:Expr"),
+        ("L5:Expr", "L8:Expr"),
+        ("L7:Expr", "L8:Expr"),
+        ("L8:Expr", "exit"),
+        ("entry", "L3:Match"),
+    ]
+
+
+@pytest.mark.skipif(sys.version_info < (3, 10),
+                    reason="match statements need python 3.10+")
+def test_match_without_irrefutable_case_falls_through():
+    cfg = cfg_of("""
+        def f(msg):
+            match msg:
+                case ("get", k):
+                    fetch(k)
+            tail()
+    """)
+    assert cfg.edges() == [
+        ("L3:Match", "L5:Expr"),
+        ("L3:Match", "L6:Expr"),
+        ("L5:Expr", "L6:Expr"),
+        ("L6:Expr", "exit"),
+        ("entry", "L3:Match"),
+    ]
+
+
+# -- supporting behaviours the rules depend on --------------------------------
+
+def test_loop_back_edge_and_boundary_flag():
+    cfg = cfg_of("""
+        def gossip(self):
+            while True:
+                self.endpoint.multisend("digest")
+                yield self.interval
+    """)
+    assert ("L5:Expr", "L3:While") in cfg.edges()  # loop-carried path
+    assert cfg.boundary_labels() == ["L5:Expr"]
+
+
+def test_return_inside_loop_bypasses_loop_exit():
+    cfg = cfg_of("""
+        def f(items):
+            for item in items:
+                if item:
+                    return item
+            return None
+    """)
+    assert ("L5:Return", "exit") in cfg.edges()
+    assert ("L5:Return", "L6:Return") not in cfg.edges()
