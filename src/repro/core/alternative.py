@@ -218,19 +218,26 @@ class AlternativeAtomicBroadcast(BasicAtomicBroadcast):
         if self._app_checkpoint is not None:
             # (b) Agreed ← (A-checkpoint(Agreed), VC(Agreed))
             self.agreed.compact(self._app_checkpoint())
-        self.node.storage.log(self.CHECKPOINT_KEY,
-                              [self.k, self.agreed.to_plain()])
-        self.ckpt_k = self.k
-        # (c) Proposed[i] can be discarded from the log — but only below
-        # the *global* watermark (the lowest checkpointed round any peer
-        # has reported): instances above it may still be replayed by a
-        # lagging peer, and discarding their decisions would strand it.
-        self.instances_discarded += self.consensus.discard_instances_below(
-            self._gc_watermark())
-        if self.config.log_unordered:
-            # Rewrite the Unordered log compactly (drops ordered messages).
-            self.node.storage.log(self.UNORDERED_KEY,
-                                  list(self.unordered.values()))
+        # The checkpoint writes form one logical step whose records are
+        # each individually safe to lose (a stale checkpoint or a fat
+        # Unordered log only cost replay work), so a write barrier lets
+        # durable backends coalesce their per-rename flushes.
+        with self.node.storage.write_barrier():
+            self.node.storage.log(self.CHECKPOINT_KEY,
+                                  [self.k, self.agreed.to_plain()])
+            self.ckpt_k = self.k
+            # (c) Proposed[i] can be discarded from the log — but only
+            # below the *global* watermark (the lowest checkpointed round
+            # any peer has reported): instances above it may still be
+            # replayed by a lagging peer, and discarding their decisions
+            # would strand it.
+            self.instances_discarded += \
+                self.consensus.discard_instances_below(self._gc_watermark())
+            if self.config.log_unordered:
+                # Rewrite the Unordered log compactly (drops ordered
+                # messages).
+                self.node.storage.log(self.UNORDERED_KEY,
+                                      list(self.unordered.values()))
         self.checkpoints_taken += 1
         self.node.sim.trace("checkpoint", self.node.node_id, "taken",
                             k=self.k, watermark=self._gc_watermark())

@@ -15,7 +15,7 @@ from typing import Any, FrozenSet, Tuple
 
 from repro.core.ids import MessageId
 from repro.sizing import estimate_size
-from repro.storage import codec
+from repro.storage import codec, snapshot
 from repro.transport.message import WireMessage
 
 __all__ = ["AppMessage", "GossipMessage", "StateMessage"]
@@ -30,11 +30,12 @@ class AppMessage:
     Payloads must be immutable (strings, numbers, tuples).
     """
 
-    __slots__ = ("id", "payload")
+    __slots__ = ("id", "payload", "_size")
 
     def __init__(self, id: MessageId, payload: Any = None):
         self.id = id
         self.payload = payload
+        self._size: Any = None
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, AppMessage) and self.id == other.id
@@ -47,7 +48,13 @@ class AppMessage:
         return tuple(self.id)  # type: ignore[return-value]
 
     def estimated_size(self) -> int:
-        return 12 + estimate_size(self.payload)
+        # Immutable payloads (the class contract) make the size a
+        # constant; messages are re-measured on every log of a batch or
+        # an Unordered set, so computing it once matters.
+        size = self._size
+        if size is None:
+            size = self._size = 12 + estimate_size(self.payload)
+        return size
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"AppMessage({self.id.label()}, {self.payload!r})"
@@ -64,6 +71,20 @@ def _message_from_plain(plain: list) -> AppMessage:
 
 codec.register(AppMessage, "AppMessage", _message_to_plain,
                _message_from_plain)
+
+
+def _message_snapshot(message: AppMessage, snap: Any) -> tuple:
+    # The header (id, payload slots) is frozen by the class contract and
+    # equality is by id, so a message with an immutable payload is safe
+    # to share with "stable storage"; only a mutable payload (contract
+    # violation, but tolerated) forces a copy.
+    payload, immutable = snap(message.payload)
+    if immutable:
+        return message, True
+    return AppMessage(message.id, payload), False
+
+
+snapshot.register_handler(AppMessage, _message_snapshot)
 
 
 class GossipMessage(WireMessage):

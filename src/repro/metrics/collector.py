@@ -28,6 +28,10 @@ class MetricsCollector:
         self.deliveries: List[Tuple[int, int, MessageId, float]] = []
         self.first_delivery: Dict[MessageId, float] = {}
         self.delivery_latencies: List[float] = []
+        # Deliveries whose broadcast was never recorded (e.g. a message
+        # observed only through recovery replay of pre-instrumentation
+        # state): counted here, excluded from the latency distribution.
+        self.latency_skipped = 0
         # Consensus decision archive: instance -> decided value, plus any
         # disagreements observed (which verification turns into failures).
         self.decisions: Dict[int, Any] = {}
@@ -37,20 +41,37 @@ class MetricsCollector:
 
     def note_broadcast(self, mid: MessageId, payload: Any,
                        time: float) -> None:
-        """Record an ``A-broadcast`` submission."""
+        """Record an ``A-broadcast`` submission.
+
+        First submission wins: a duplicate ``mid`` (a recovered sender
+        re-submitting the same message identity) keeps the original
+        timestamp and payload, so latency is always measured from the
+        *first* time the message entered the system and duplicate
+        elimination downstream stays consistent with the metrics.
+        """
         if mid not in self.broadcast_times:
             self.broadcast_times[mid] = time
             self.broadcast_payloads[mid] = payload
 
     def note_delivery(self, node_id: int, mid: MessageId, time: float,
                       incarnation: int = 0) -> None:
-        """Record one delivery upcall at one node."""
+        """Record one delivery upcall at one node.
+
+        A delivery whose broadcast was never recorded is kept in the
+        delivery log (ordering verification must still see it) but
+        contributes **no** latency sample — there is no send time to
+        subtract.  Such events are counted in ``latency_skipped`` so a
+        run can assert the omission instead of discovering a silently
+        thinner latency distribution.
+        """
         self.deliveries.append((node_id, incarnation, mid, time))
         if mid not in self.first_delivery:
             self.first_delivery[mid] = time
             sent = self.broadcast_times.get(mid)
             if sent is not None:
                 self.delivery_latencies.append(time - sent)
+            else:
+                self.latency_skipped += 1
 
     def note_decision(self, k: int, value: Any) -> None:
         """Archive a consensus decision (survives log garbage collection)."""

@@ -5,7 +5,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["percentile", "summarize", "mean", "stdev"]
+__all__ = ["percentile", "percentile_of_sorted", "summarize", "mean",
+           "stdev"]
 
 
 def mean(values: Sequence[float]) -> float:
@@ -27,9 +28,17 @@ def stdev(values: Sequence[float]) -> float:
 
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0 <= q <= 100), linear interpolation."""
+    return percentile_of_sorted(sorted(values), q)
+
+
+def percentile_of_sorted(ordered: Sequence[float], q: float) -> float:
+    """:func:`percentile` for a sample that is *already sorted*.
+
+    Summaries take several percentiles of one sample; sorting once and
+    reusing the ordered list beats re-sorting per percentile.
+    """
     if not 0 <= q <= 100:
         raise ValueError(f"percentile {q} out of range")
-    ordered = sorted(values)
     if not ordered:
         return 0.0
     if len(ordered) == 1:
@@ -46,12 +55,15 @@ def percentile(values: Sequence[float], q: float) -> float:
 def summarize(values: Iterable[float]) -> Dict[str, float]:
     """Mean/median/p95/p99/min/max summary of a sample."""
     sample: List[float] = list(values)
+    # One sort serves p50/p95/p99/min/max; the mean is summed in sample
+    # order so results stay bit-identical to summing before sorting.
+    ordered: List[float] = sorted(sample)
     return {
-        "count": float(len(sample)),
+        "count": float(len(ordered)),
         "mean": mean(sample),
-        "p50": percentile(sample, 50),
-        "p95": percentile(sample, 95),
-        "p99": percentile(sample, 99),
-        "min": min(sample) if sample else 0.0,
-        "max": max(sample) if sample else 0.0,
+        "p50": percentile_of_sorted(ordered, 50),
+        "p95": percentile_of_sorted(ordered, 95),
+        "p99": percentile_of_sorted(ordered, 99),
+        "min": ordered[0] if ordered else 0.0,
+        "max": ordered[-1] if ordered else 0.0,
     }

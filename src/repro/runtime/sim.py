@@ -31,20 +31,26 @@ __all__ = ["SimRuntime", "Simulator", "Timer"]
 class Timer:
     """A cancellable handle for a scheduled callback (the heap entry)."""
 
-    __slots__ = ("when", "seq", "_callback", "_args", "cancelled")
+    __slots__ = ("when", "seq", "_callback", "_args", "cancelled", "_owner")
 
-    def __init__(self, when: float, seq: int, callback: Callable, args: tuple):
+    def __init__(self, when: float, seq: int, callback: Callable, args: tuple,
+                 owner: Optional["SimRuntime"] = None):
         self.when = when
         self.seq = seq
         self._callback = callback
         self._args = args
         self.cancelled = False
+        self._owner = owner
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if it already ran)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self._callback = None
         self._args = ()
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
     def _fire(self) -> None:
         if not self.cancelled:
@@ -67,12 +73,23 @@ class SimRuntime(Runtime):
     (:mod:`repro.runtime.rng`).
     """
 
+    # Compaction kicks in once this many dead entries accumulate AND they
+    # outnumber the live ones; below the floor the O(n) rebuild is not
+    # worth its constant factor.
+    _COMPACT_FLOOR = 64
+
     def __init__(self, seed: int = 0) -> None:
         super().__init__(seed=seed)
         self._now = 0.0
         self._heap: List[Timer] = []
         self._seq = 0
         self._event_count = 0
+        # Cancelled timers still sitting in the heap.  Long runs of
+        # stubborn retransmission / heartbeat timers cancel constantly;
+        # without compaction the dead entries linger until popped and
+        # every push pays log(dead + live).
+        self._cancelled_in_heap = 0
+        self.compactions = 0
 
     # -- clock -------------------------------------------------------------
 
@@ -92,10 +109,26 @@ class SimRuntime(Runtime):
         """Run ``callback(*args)`` after ``delay`` units of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        timer = Timer(self._now + delay, self._seq, callback, args)
+        timer = Timer(self._now + delay, self._seq, callback, args,
+                      owner=self)
         self._seq += 1
         heapq.heappush(self._heap, timer)
         return timer
+
+    def _note_cancelled(self) -> None:
+        """A heap entry died; compact lazily once the dead dominate.
+
+        Rebuilding from the live entries is deterministic: ``(when, seq)``
+        keys are unique, so the pop order of a re-heapified subset is
+        identical to popping the original heap and skipping the dead.
+        """
+        self._cancelled_in_heap += 1
+        if (self._cancelled_in_heap > self._COMPACT_FLOOR
+                and self._cancelled_in_heap * 2 > len(self._heap)):
+            self._heap = [t for t in self._heap if not t.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
+            self.compactions += 1
 
     def call_soon(self, callback: Callable, *args: Any) -> Timer:
         """Run ``callback(*args)`` at the current virtual time, after the
@@ -118,6 +151,7 @@ class SimRuntime(Runtime):
             timer = self._heap[0]
             if timer.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled_in_heap -= 1
                 continue
             if until is not None and timer.when > until:
                 break
@@ -140,7 +174,7 @@ class SimRuntime(Runtime):
         passes) without the event firing — a deadlock detector for tests.
         """
         while not event.fired:
-            if not self._heap or all(t.cancelled for t in self._heap):
+            if self.pending() == 0:
                 raise SimulationError(
                     f"deadlock: event {event.name!r} never fired "
                     f"(queue drained at t={self._now})")
@@ -152,7 +186,7 @@ class SimRuntime(Runtime):
 
     def pending(self) -> int:
         """Number of live (non-cancelled) timers in the queue."""
-        return sum(1 for t in self._heap if not t.cancelled)
+        return len(self._heap) - self._cancelled_in_heap
 
 
 # Historical name, used pervasively by tests, benchmarks and docs.

@@ -17,8 +17,10 @@ is a single attribute check per event.
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Set
+from collections import Counter, deque
+from itertools import islice
+from typing import (Any, Deque, Dict, Iterable, List, NamedTuple, Optional,
+                    Set)
 
 __all__ = ["TraceEvent", "Tracer", "CATEGORIES"]
 
@@ -69,20 +71,30 @@ class Tracer:
             raise ValueError(f"unknown trace categories: {sorted(unknown)}")
         self.categories: Set[str] = requested
         self.max_events = max_events
-        self.events: List[TraceEvent] = []
+        # A deque with maxlen evicts the oldest event in O(1); the old
+        # list-based ring did an O(n) front-shift on *every* record once
+        # at capacity.
+        self.events: Deque[TraceEvent] = deque(maxlen=max_events)
         self.dropped = 0
 
     def record(self, time: float, category: str, node: int, action: str,
                **details: Any) -> None:
-        """Record one event (no-op for filtered categories)."""
+        """Record one event (no-op for filtered categories).
+
+        Raises :class:`ValueError` for a category that does not exist at
+        all — a typo at an instrumentation site must fail loudly, not
+        silently drop the events it was supposed to capture.
+        """
         if category not in self.categories:
+            if category not in CATEGORIES:
+                raise ValueError(
+                    f"unknown trace category {category!r}; "
+                    f"known: {sorted(CATEGORIES)}")
             return
+        if len(self.events) == self.max_events:
+            self.dropped += 1
         self.events.append(TraceEvent(time, category, node, action,
                                       details))
-        if len(self.events) > self.max_events:
-            overflow = len(self.events) - self.max_events
-            del self.events[:overflow]
-            self.dropped += overflow
 
     # -- queries ------------------------------------------------------------
 
@@ -102,7 +114,10 @@ class Tracer:
 
     def format_text(self, limit: Optional[int] = None) -> str:
         """The trace (or its tail) as printable text."""
-        events = self.events if limit is None else self.events[-limit:]
+        events: Iterable[TraceEvent] = self.events
+        if limit is not None:
+            events = islice(self.events,
+                            max(0, len(self.events) - limit), None)
         lines = [event.format() for event in events]
         if self.dropped:
             lines.insert(0, f"... {self.dropped} earlier events dropped")

@@ -99,6 +99,14 @@ class FileStorage(StableStorage):
         os.makedirs(directory, exist_ok=True)
         # (key, defect) pairs healed by the open-time recovery scan.
         self.recovery_report: List[Tuple[str, str]] = []
+        # Write-barrier state: inside a barrier the per-write directory
+        # fsync (which makes the *rename* durable) is deferred and issued
+        # once at barrier exit.  Record files themselves are still
+        # fsynced per write, so individual records stay atomic.
+        self._barrier_depth = 0
+        self._dir_fsync_pending = False
+        self.dir_fsyncs = 0
+        self.dir_fsyncs_coalesced = 0
         self._recovery_scan()
 
     def _file_for(self, path: str) -> str:
@@ -142,11 +150,32 @@ class FileStorage(StableStorage):
 
     def _fsync_directory(self) -> None:
         """Flush the directory entry so renames survive power loss too."""
+        self.dir_fsyncs += 1
         fd = os.open(self.directory, os.O_RDONLY)
         try:
             os.fsync(fd)
         finally:
             os.close(fd)
+
+    # -- write barriers ------------------------------------------------------
+
+    def _barrier_begin(self) -> None:
+        self._barrier_depth += 1
+
+    def _barrier_end(self) -> None:
+        self._barrier_depth -= 1
+        if self._barrier_depth == 0 and self._dir_fsync_pending:
+            self._dir_fsync_pending = False
+            self._fsync_directory()
+
+    def _note_rename(self) -> None:
+        """Make the latest rename durable now, or at barrier exit."""
+        if self._barrier_depth > 0:
+            if self._dir_fsync_pending:
+                self.dir_fsyncs_coalesced += 1
+            self._dir_fsync_pending = True
+        else:
+            self._fsync_directory()
 
     # -- backend hooks -------------------------------------------------------
 
@@ -159,7 +188,7 @@ class FileStorage(StableStorage):
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, self._file_for(path))
-            self._fsync_directory()
+            self._note_rename()
         finally:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)

@@ -4,35 +4,64 @@ The simulator owns the storage object; a node crash discards the node's
 volatile state but never touches this store, which models a disk that
 survives process crashes (Section 2.1).
 
-Values are defensively deep-copied on write and read so protocol code
+Values are defensively isolated on write and read so protocol code
 cannot accidentally mutate "durable" state in place — the closest
-in-memory analogue of serialisation through a real disk.
+in-memory analogue of serialisation through a real disk.  Isolation is
+provided by :mod:`repro.storage.snapshot`: immutable values (the vast
+majority of what the protocols log) are shared without copying, mutable
+containers are structurally rebuilt — far cheaper than the
+``copy.deepcopy``-per-operation this backend used to perform, with the
+same observable semantics.  The legacy behaviour survives as
+``MemoryStorage(isolation="deepcopy")`` so the perf harness can measure
+the difference (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Iterable
+from typing import Any, Dict, Iterable, Tuple
 
+from repro.errors import StorageError
+from repro.storage.snapshot import snapshot
 from repro.storage.stable import StableStorage
 
 __all__ = ["MemoryStorage"]
+
+_ISOLATION_MODES = ("snapshot", "deepcopy")
 
 
 class MemoryStorage(StableStorage):
     """Dictionary-backed stable storage with copy-on-write/read semantics."""
 
-    def __init__(self) -> None:
+    def __init__(self, isolation: str = "snapshot") -> None:
         super().__init__()
-        self._data: Dict[str, Any] = {}
+        if isolation not in _ISOLATION_MODES:
+            raise StorageError(
+                f"unknown isolation mode {isolation!r}; "
+                f"pick one of {_ISOLATION_MODES}")
+        self.isolation = isolation
+        self._deepcopy = isolation == "deepcopy"
+        # path -> (value, immutable).  Immutable entries are shared with
+        # the caller on both sides; mutable ones are re-snapshotted on
+        # every read.
+        self._data: Dict[str, Tuple[Any, bool]] = {}
 
     def _write(self, path: str, value: Any) -> None:
-        self._data[path] = copy.deepcopy(value)
+        if self._deepcopy:
+            self._data[path] = (copy.deepcopy(value), False)
+        else:
+            self._data[path] = snapshot(value)
 
     def _read(self, path: str, default: Any) -> Any:
-        if path not in self._data:
+        entry = self._data.get(path)
+        if entry is None:
             return default
-        return copy.deepcopy(self._data[path])
+        value, immutable = entry
+        if immutable:
+            return value
+        if self._deepcopy:
+            return copy.deepcopy(value)
+        return snapshot(value)[0]
 
     def _delete_raw(self, path: str) -> None:
         self._data.pop(path, None)

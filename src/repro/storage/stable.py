@@ -17,7 +17,9 @@ Two concrete backends exist:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from contextlib import contextmanager
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Tuple,
+                    Union)
 
 from repro.errors import StorageError
 from repro.sizing import estimate_size
@@ -137,6 +139,37 @@ class StableStorage:
         if not isinstance(value, list):
             raise StorageError(f"key {_normalize(key)!r} is not a list")
         return list(value)
+
+    # -- write barriers ----------------------------------------------------------
+
+    @contextmanager
+    def write_barrier(self):
+        """Group several ``log`` calls into one logical durability barrier.
+
+        Backends may coalesce per-write flush work (e.g. directory
+        fsyncs) and perform it once when the barrier exits.  The
+        contract is deliberately weak: every record keeps its individual
+        atomicity (old value or new value, never a blend), but the
+        *durability* of writes inside the barrier is only guaranteed
+        after the barrier exits, and a crash mid-barrier may persist any
+        subset of them.  Only writes that are individually safe to lose
+        — the paper's model for every ``log`` call — may be grouped.
+
+        The default implementation is a no-op, so protocol code can use
+        barriers unconditionally; metric accounting is unaffected either
+        way (a coalesced fsync is still one log op per write).
+        """
+        self._barrier_begin()
+        try:
+            yield self
+        finally:
+            self._barrier_end()
+
+    def _barrier_begin(self) -> None:
+        """Backend hook: a write barrier opened (may nest)."""
+
+    def _barrier_end(self) -> None:
+        """Backend hook: a write barrier closed (may nest)."""
 
     # -- maintenance -------------------------------------------------------------
 

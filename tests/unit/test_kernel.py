@@ -420,3 +420,62 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestTimerCompaction:
+    """Cancelled timers are lazily compacted out of the heap."""
+
+    def test_dead_timers_are_compacted(self):
+        sim = Simulator()
+        timers = [sim.schedule(10.0 + i, lambda: None) for i in range(500)]
+        for timer in timers[:400]:
+            timer.cancel()
+        # The heap shed the dead entries without waiting for pops.
+        assert sim.compactions >= 1
+        assert len(sim._heap) < 500
+        assert sim.pending() == 100
+
+    def test_pending_is_exact_after_cancel_and_fire(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(1.0, fired.append, "keep")
+        dead = sim.schedule(2.0, fired.append, "dead")
+        dead.cancel()
+        dead.cancel()  # double-cancel must not double-count
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == ["keep"]
+        assert sim.pending() == 0
+        keep.cancel()  # cancelling a fired timer is a no-op
+        assert sim.pending() == 0
+
+    def test_firing_order_unchanged_by_compaction(self):
+        # Same schedule, one run with enough cancellations to trigger
+        # compaction and one replayed without — the survivors must fire
+        # in exactly the same order.
+        def build(cancel):
+            sim = Simulator()
+            order = []
+            timers = [sim.schedule((i * 7919 % 97) / 10.0, order.append, i)
+                      for i in range(300)]
+            if cancel:
+                for index in range(300):
+                    if index % 3 != 0:
+                        timers[index].cancel()
+            sim.run()
+            return order, sim
+
+        with_cancel, sim = build(cancel=True)
+        without_cancel, _ = build(cancel=False)
+        assert sim.compactions >= 1
+        survivors = [i for i in without_cancel if i % 3 == 0]
+        assert with_cancel == survivors
+
+    def test_events_processed_ignores_cancelled(self):
+        sim = Simulator()
+        for i in range(10):
+            timer = sim.schedule(1.0 + i, lambda: None)
+            if i % 2:
+                timer.cancel()
+        sim.run()
+        assert sim.events_processed == 5

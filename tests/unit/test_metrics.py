@@ -130,3 +130,70 @@ class TestRunMetrics:
         metrics = make_metrics()
         assert metrics.log_ops_per_delivery() == 0.0
         assert make_metrics().throughput == 0.0
+
+
+class TestSummarizeSingleSort:
+    """Regression for the single-sort summarize (was 3 sorts + min + max)."""
+
+    def test_matches_per_percentile_calls(self):
+        import random
+        rng = random.Random(42)
+        for trial in range(50):
+            size = rng.randrange(0, 40)
+            sample = [rng.uniform(-100, 100) for _ in range(size)]
+            rng.shuffle(sample)
+            summary = summarize(sample)
+            assert summary["count"] == float(len(sample))
+            assert summary["mean"] == mean(sample)
+            for q in (50, 95, 99):
+                assert summary[f"p{q}"] == percentile(sample, q)
+            assert summary["min"] == (min(sample) if sample else 0.0)
+            assert summary["max"] == (max(sample) if sample else 0.0)
+
+    def test_percentile_of_sorted_requires_sorted_for_equality(self):
+        from repro.metrics.stats import percentile_of_sorted
+        sample = [5.0, 1.0, 9.0, 3.0]
+        assert percentile_of_sorted(sorted(sample), 50) \
+            == percentile(sample, 50)
+
+    def test_input_not_mutated(self):
+        sample = [3.0, 1.0, 2.0]
+        summarize(sample)
+        assert sample == [3.0, 1.0, 2.0]
+
+
+class TestCollectorEdgeCases:
+    """Documented behaviour at the awkward corners of observation."""
+
+    def test_delivery_before_broadcast_recorded_without_latency(self):
+        # A delivery can be observed for a message whose broadcast was
+        # never recorded (e.g. state adopted from a peer that predates
+        # instrumentation).  The delivery must still count for ordering,
+        # but no latency sample can exist — and the omission is counted.
+        collector = MetricsCollector()
+        mid = MessageId(2, 0, 7)
+        collector.note_delivery(0, mid, time=5.0)
+        assert collector.deliveries == [(0, 0, mid, 5.0)]
+        assert collector.first_delivery[mid] == 5.0
+        assert collector.delivery_latencies == []
+        assert collector.latency_skipped == 1
+        # A later broadcast note does not retroactively create a sample.
+        collector.note_broadcast(mid, "late", time=6.0)
+        collector.note_delivery(1, mid, time=7.0)
+        assert collector.delivery_latencies == []
+        assert collector.latency_skipped == 1
+
+    def test_rebroadcast_of_duplicate_mid_after_recovery(self):
+        # A recovered sender re-submitting the same MessageId must not
+        # reset the broadcast clock: latency is measured from the first
+        # submission, and the original payload wins.
+        collector = MetricsCollector()
+        mid = MessageId(1, 1, 3)
+        collector.note_broadcast(mid, "original", time=1.0)
+        collector.note_broadcast(mid, "replayed", time=9.0)  # recovery
+        collector.note_delivery(0, mid, time=10.0)
+        assert collector.broadcast_times[mid] == 1.0
+        assert collector.broadcast_payloads[mid] == "original"
+        assert collector.delivery_latencies == [9.0]
+        assert collector.latency_skipped == 0
+        assert collector.broadcast_ids() == {mid}

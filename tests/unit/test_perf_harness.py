@@ -1,0 +1,119 @@
+"""Unit tests for the perf-trajectory harness (repro.perf)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.harness import (compare_determinism,
+                                measure_storage_comparison, run_cell)
+from repro.perf.matrix import (PerfCell, default_matrix, smallest_cell,
+                               storage_comparison_cell)
+from repro.perf.trajectory import (baseline_determinism, build_document,
+                                   format_comparison_table,
+                                   format_matrix_table,
+                                   format_trajectory_table, load_documents,
+                                   summarize_drift, write_document)
+
+
+class TestMatrix:
+    def test_matrix_shape_and_names_are_frozen(self):
+        cells = default_matrix()
+        assert len(cells) == 16
+        names = [cell.name for cell in cells]
+        assert len(set(names)) == 16
+        assert names[0] == "basic-n3-l00-quiet"
+        assert "alternative-n5-l20-chaos" in names
+        # Seeds are distinct per cell: cells must be independent draws.
+        assert len({cell.seed for cell in cells}) == 16
+
+    def test_smallest_cell_is_cheapest_axis_corner(self):
+        cell = smallest_cell()
+        assert (cell.protocol, cell.n, cell.loss_rate, cell.chaos) == \
+            ("basic", 3, 0.0, False)
+
+    def test_comparison_cell_is_the_e6_batching_shape(self):
+        cell = storage_comparison_cell()
+        assert cell.protocol == "alternative"
+        assert cell.rate_per_node >= 20  # high offered load: batching
+
+
+class TestDeterminism:
+    def test_smallest_cell_bit_identical_across_runs(self):
+        cell = smallest_cell()
+        first = run_cell(cell)
+        second = run_cell(cell)
+        assert first.determinism == second.determinism
+        assert first.determinism["messages_delivered"] > 0
+        assert first.determinism["log_ops"] > 0
+        assert compare_determinism(
+            {cell.name: first.determinism}, [second]) == []
+
+    def test_isolation_mode_does_not_change_determinism(self):
+        cell = smallest_cell()
+        snapshot = run_cell(cell, isolation="snapshot")
+        deepcopy = run_cell(cell, isolation="deepcopy")
+        assert snapshot.determinism == deepcopy.determinism
+
+    def test_compare_reports_drift_and_missing_cells(self):
+        cell = smallest_cell()
+        result = run_cell(cell)
+        tampered = dict(result.determinism)
+        tampered["log_ops"] += 1
+        drifts = compare_determinism({cell.name: tampered}, [result])
+        assert len(drifts) == 1 and "log_ops" in drifts[0]
+        ok, verdict = summarize_drift(drifts)
+        assert not ok and "DRIFT" in verdict
+        assert summarize_drift([]) == (
+            True, "determinism check: OK (bit-identical to baseline)")
+        assert compare_determinism({}, [result]) == \
+            [f"{cell.name}: not present in baseline"]
+
+
+class TestDocuments:
+    def test_build_write_load_roundtrip(self, tmp_path, monkeypatch):
+        result = run_cell(smallest_cell())
+        document = build_document("PRX", [result])
+        assert document["schema"] == 1
+        path = tmp_path / "BENCH_PRX.json"
+        write_document(document, str(path))
+        monkeypatch.chdir(tmp_path)
+        loaded = load_documents()
+        assert len(loaded) == 1
+        assert baseline_determinism(loaded[0]) == \
+            {result.cell.name: result.determinism}
+        # Stable serialisation: a rewrite is byte-identical.
+        text = path.read_text()
+        write_document(json.loads(text), str(path))
+        assert path.read_text() == text
+
+    def test_tables_render(self):
+        result = run_cell(smallest_cell())
+        table = format_matrix_table([result])
+        assert result.cell.name in table
+        document = build_document("PRX", [result])
+        trajectory = format_trajectory_table([document], result.cell.name)
+        assert "PRX" in trajectory
+
+
+class TestStorageComparison:
+    def test_before_after_agree_on_determinism(self):
+        comparison = measure_storage_comparison(repeats=1)
+        assert comparison["before"]["deliveries_per_sec"] > 0
+        assert comparison["after"]["deliveries_per_sec"] > 0
+        assert comparison["speedup_deliveries_per_sec"] > 0
+        assert comparison["determinism"]["messages_delivered"] > 0
+        table = format_comparison_table(comparison)
+        assert "before" in table and "after" in table
+
+
+class TestFrozenCells:
+    def test_cell_params_cover_the_scenario_inputs(self):
+        cell = PerfCell("basic", 3, 0.1, chaos=True, seed=7)
+        params = cell.params()
+        assert params["loss_rate"] == 0.1 and params["chaos"] is True
+        scenario = cell.scenario()
+        assert scenario.cluster.n == 3
+        assert scenario.cluster.network.loss_rate == 0.1
+        assert scenario.faults is not None
+        quiet = PerfCell("basic", 3, 0.1, chaos=False, seed=7).scenario()
+        assert quiet.faults is None

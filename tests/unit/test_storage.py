@@ -183,3 +183,118 @@ class TestCodec:
     def test_deterministic_encoding(self):
         value = {"b": 1, "a": 2}
         assert codec.encode(value) == codec.encode({"a": 2, "b": 1})
+
+
+class TestSnapshotIsolation:
+    """The immutability-aware snapshot path of MemoryStorage."""
+
+    def test_unknown_isolation_mode_rejected(self):
+        with pytest.raises(StorageError):
+            MemoryStorage(isolation="telepathy")
+
+    def test_immutable_values_are_shared_not_copied(self):
+        storage = MemoryStorage()
+        message = AppMessage(MessageId(1, 0, 7), ("payload", 3))
+        storage.log("m", message)
+        assert storage.retrieve("m") is message  # no copy needed
+        value = ("a", 1, MessageId(0, 0, 1))
+        storage.log("t", value)
+        assert storage.retrieve("t") is value
+
+    def test_mutable_containers_still_isolated(self):
+        storage = MemoryStorage()
+        batch = [AppMessage(MessageId(0, 0, i), ("m", i)) for i in range(3)]
+        storage.log("batch", batch)
+        batch.append("intruder")
+        got = storage.retrieve("batch")
+        assert len(got) == 3
+        got.append("other-intruder")
+        assert len(storage.retrieve("batch")) == 3
+        # Immutable *items* of the rebuilt list are shared.
+        assert storage.retrieve("batch")[0] is batch[0]
+
+    def test_mutable_payload_forces_message_copy(self):
+        # Payloads are immutable by contract, but a violation must not
+        # corrupt "durable" state.
+        storage = MemoryStorage()
+        message = AppMessage(MessageId(1, 0, 1), ["mutable"])
+        storage.log("m", message)
+        message.payload.append("oops")
+        assert storage.retrieve("m").payload == ["mutable"]
+
+    def test_unregistered_type_falls_back_to_deepcopy(self):
+        from repro.storage import snapshot
+
+        class Blob:
+            def __init__(self):
+                self.items = [1, 2]
+
+        storage = MemoryStorage()
+        blob = Blob()
+        before = snapshot.fallback_count()
+        storage.log("b", blob)
+        blob.items.append(3)
+        assert storage.retrieve("b").items == [1, 2]
+        assert snapshot.fallback_count() > before
+
+    def test_deepcopy_mode_matches_snapshot_semantics(self):
+        for isolation in ("snapshot", "deepcopy"):
+            storage = MemoryStorage(isolation=isolation)
+            value = {"inner": [1, 2], "id": MessageId(0, 0, 1)}
+            storage.log("k", value)
+            value["inner"].append(3)
+            assert storage.retrieve("k") == \
+                {"inner": [1, 2], "id": MessageId(0, 0, 1)}
+
+    def test_namedtuple_of_immutables_passes_through(self):
+        storage = MemoryStorage()
+        mid = MessageId(3, 1, 4)
+        storage.log("id", mid)
+        got = storage.retrieve("id")
+        assert got is mid and isinstance(got, MessageId)
+
+
+class TestFileStorageWriteBarrier:
+    """Directory-fsync coalescing inside one logical write barrier."""
+
+    def test_barrier_coalesces_directory_fsyncs(self, tmp_path):
+        storage = FileStorage(str(tmp_path / "store"))
+        baseline = storage.dir_fsyncs
+        with storage.write_barrier():
+            for index in range(5):
+                storage.log(("ab", "ckpt", index), index)
+        # One directory flush for the whole barrier, not one per write.
+        assert storage.dir_fsyncs == baseline + 1
+        assert storage.dir_fsyncs_coalesced == 4
+        for index in range(5):
+            assert storage.retrieve(("ab", "ckpt", index)) == index
+
+    def test_writes_outside_barrier_flush_per_write(self, tmp_path):
+        storage = FileStorage(str(tmp_path / "store"))
+        baseline = storage.dir_fsyncs
+        storage.log("a", 1)
+        storage.log("b", 2)
+        assert storage.dir_fsyncs == baseline + 2
+
+    def test_nested_barriers_flush_once_at_outermost_exit(self, tmp_path):
+        storage = FileStorage(str(tmp_path / "store"))
+        baseline = storage.dir_fsyncs
+        with storage.write_barrier():
+            storage.log("a", 1)
+            with storage.write_barrier():
+                storage.log("b", 2)
+            assert storage.dir_fsyncs == baseline  # still deferred
+        assert storage.dir_fsyncs == baseline + 1
+
+    def test_empty_barrier_flushes_nothing(self, tmp_path):
+        storage = FileStorage(str(tmp_path / "store"))
+        baseline = storage.dir_fsyncs
+        with storage.write_barrier():
+            pass
+        assert storage.dir_fsyncs == baseline
+
+    def test_memory_backend_barrier_is_noop(self):
+        storage = MemoryStorage()
+        with storage.write_barrier():
+            storage.log("k", 1)
+        assert storage.retrieve("k") == 1

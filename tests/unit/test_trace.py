@@ -113,3 +113,37 @@ class TestTracedRuns:
             return tracer.format_text()
 
         assert formatted() == formatted()
+
+
+class TestTracerHotPath:
+    """Regressions for the deque ring buffer and strict categories."""
+
+    def test_overflow_is_o1_deque(self):
+        from collections import deque
+        tracer = Tracer(max_events=3)
+        assert isinstance(tracer.events, deque)
+        for index in range(10):
+            tracer.record(float(index), "node", 0, "start", i=index)
+        assert len(tracer) == 3
+        assert tracer.dropped == 7
+        assert [event.details["i"] for event in tracer.events] == [7, 8, 9]
+        text = tracer.format_text()
+        assert "7 earlier events dropped" in text
+        # Tail limiting still slices from the end.
+        tail = tracer.format_text(limit=2)
+        assert "i=8" in tail and "i=9" in tail and "i=7" not in tail
+
+    def test_record_rejects_unknown_category(self):
+        # A typo at an instrumentation site must fail loudly instead of
+        # silently dropping the events it was meant to capture.
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="unknown trace category"):
+            tracer.record(1.0, "nodes", 0, "crash")
+        assert len(tracer) == 0
+
+    def test_record_still_filters_known_categories(self):
+        tracer = Tracer(categories=["node"])
+        tracer.record(1.0, "round", 0, "commit")  # valid, filtered
+        with pytest.raises(ValueError):
+            tracer.record(1.0, "roundz", 0, "commit")  # invalid: raise
+        assert len(tracer) == 0
