@@ -1,0 +1,92 @@
+"""Baseline snapshots: adopt a tree's current findings, report only new ones.
+
+``repro lint --write-baseline lint-baseline.json`` records every current
+finding as *accepted debt*; a later ``repro lint --baseline
+lint-baseline.json`` run subtracts the recorded findings and fails only
+on regressions.  This lets the lint gate go strict on a tree that is
+not yet clean, without freezing line numbers: a finding is matched by
+its **fingerprint** — ``(path, rule, message pattern)`` with every
+number in the message replaced by ``#`` — so renumbering edits (the
+overwhelming majority of churn) don't resurrect baselined findings,
+while a genuinely new instance of the same rule in the same file is
+caught once the recorded count is exhausted.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Tuple
+
+from repro.analysis.engine import Finding, Report
+from repro.errors import AnalysisError
+
+__all__ = ["fingerprint", "filter_baselined", "load_baseline",
+           "write_baseline"]
+
+_VERSION = 1
+_NUMBERS = re.compile(r"\d+")
+
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    """Stable identity for a finding across unrelated edits."""
+    return (finding.path.replace("\\", "/"), finding.rule_id,
+            _NUMBERS.sub("#", finding.message))
+
+
+def write_baseline(report: Report) -> str:
+    """Serialize ``report``'s findings as a baseline document."""
+    counts: Dict[Fingerprint, int] = {}
+    for finding in report.findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [{"path": path, "rule": rule, "message_pattern": pattern,
+                "count": count}
+               for (path, rule, pattern), count in sorted(counts.items())]
+    return json.dumps({"version": _VERSION, "entries": entries},
+                      indent=2) + "\n"
+
+
+def load_baseline(text: str, *, source: str = "<baseline>"
+                  ) -> Dict[Fingerprint, int]:
+    """Parse a baseline document into fingerprint counts."""
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        raise AnalysisError(f"{source}: not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or \
+            document.get("version") != _VERSION:
+        raise AnalysisError(
+            f"{source}: not a lint baseline (expected version {_VERSION})")
+    counts: Dict[Fingerprint, int] = {}
+    for entry in document.get("entries", []):
+        try:
+            key = (str(entry["path"]), str(entry["rule"]),
+                   str(entry["message_pattern"]))
+            counts[key] = counts.get(key, 0) + int(entry["count"])
+        except (TypeError, KeyError) as exc:
+            raise AnalysisError(
+                f"{source}: malformed baseline entry: {entry!r}") from exc
+    return counts
+
+
+def filter_baselined(report: Report,
+                     baseline: Dict[Fingerprint, int]) -> Report:
+    """Drop findings covered by ``baseline``; keep regressions.
+
+    Findings are consumed in report order (sorted by location), so when
+    the tree has *more* instances of a fingerprint than the baseline
+    recorded, the surplus — the regression — is reported, whichever of
+    them is textually "new".
+    """
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    for finding in report.findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return Report(fresh, report.files_analyzed)

@@ -28,11 +28,22 @@ Anything else is unknown, and callers treat it as opaque.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
+from repro.analysis.cfg import scoped_walk
 from repro.analysis.symbols import ClassInfo, SymbolTable
 
-__all__ = ["CallResolver", "ResolvedCall"]
+__all__ = ["CallResolver", "FieldWriteSummary", "ResolvedCall",
+           "value_sources"]
+
+# Builtins whose result is a pure function of their arguments' values —
+# the value "flows through" them for derivation purposes.  Deliberately
+# value-preserving only: an opaque call produces a *new* value, breaking
+# the derivation chain.
+_VALUE_PRESERVING = frozenset({
+    "abs", "bool", "dict", "float", "frozenset", "int", "len", "list",
+    "max", "min", "round", "set", "sorted", "str", "sum", "tuple",
+})
 
 
 class ResolvedCall:
@@ -62,11 +73,152 @@ class ResolvedCall:
         return (concrete, defining, getattr(self.func, "name", ""))
 
 
+def value_sources(expr: Optional[ast.AST]
+                  ) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """``(names, self_fields)`` the expression's *value* derives from.
+
+    Follows value-preserving operators (arithmetic, comparisons,
+    subscripts, tuple/list/set displays, conditional expressions) and
+    the pure coercion builtins, but stops at opaque calls: ``f(x)``
+    returns a fresh value even though ``x`` went in.  This is the
+    derivation notion the concurrency rules share — "is this expression
+    still the stale thing I read earlier?"
+    """
+    if expr is None:
+        return frozenset(), frozenset()
+    names: set = set()
+    fields: set = set()
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            field = _attr_root_field(node)
+            if field is not None:
+                fields.add(field)  # self.f / self.f.total — field f
+            else:
+                head: ast.AST = node
+                while isinstance(head, ast.Attribute):
+                    head = head.value
+                if isinstance(head, ast.Name):
+                    names.add(head.id)  # msg.k — derived from msg
+        elif isinstance(node, ast.BinOp):
+            visit(node.left), visit(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            visit(node.operand)
+        elif isinstance(node, ast.BoolOp):
+            for value in node.values:
+                visit(value)
+        elif isinstance(node, ast.Compare):
+            visit(node.left)
+            for comparator in node.comparators:
+                visit(comparator)
+        elif isinstance(node, ast.Subscript):
+            visit(node.value), visit(node.slice)
+        elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                visit(elt)
+        elif isinstance(node, ast.IfExp):
+            visit(node.body), visit(node.orelse)
+        elif isinstance(node, ast.Starred):
+            visit(node.value)
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and \
+                    node.func.id in _VALUE_PRESERVING:
+                for arg in node.args:
+                    visit(arg)
+        # Anything else (constants, comprehensions, opaque calls,
+        # lambdas) contributes no sources.
+
+    visit(expr)
+    return frozenset(names), frozenset(fields)
+
+
+def _attr_root_field(node: ast.Attribute) -> Optional[str]:
+    """The field name of a ``self.f[...attrs...]`` chain, if any."""
+    current: ast.AST = node
+    field = None
+    while isinstance(current, ast.Attribute):
+        field = current.attr
+        current = current.value
+    if isinstance(current, ast.Name) and current.id == "self":
+        return field
+    return None
+
+
+class FieldWriteSummary:
+    """What one callee does to ``self`` fields, per parameter.
+
+    ``fields`` is every field the function writes at all;
+    ``param_fields[p]`` is the subset whose new value is directly
+    derived (per :func:`value_sources`) from parameter ``p``.  The
+    atomicity rule uses this to follow a stale local through a helper
+    call into the field it finally lands in.
+    """
+
+    __slots__ = ("fields", "param_fields", "params")
+
+    def __init__(self, params: Tuple[str, ...],
+                 fields: FrozenSet[str],
+                 param_fields: Dict[str, FrozenSet[str]]):
+        self.params = params
+        self.fields = fields
+        self.param_fields = param_fields
+
+
+def _summarize_field_writes(func: ast.AST) -> FieldWriteSummary:
+    args = getattr(func, "args", None)
+    params: Tuple[str, ...] = ()
+    if args is not None:
+        names = [arg.arg for arg in args.args if arg.arg != "self"]
+        names += [arg.arg for arg in args.kwonlyargs]
+        params = tuple(names)
+    fields: set = set()
+    param_fields: Dict[str, set] = {}
+
+    def record(target: ast.AST, value: Optional[ast.AST]) -> None:
+        field = None
+        if isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and \
+                    target.value.id == "self":
+                field = target.attr
+        elif isinstance(target, ast.Subscript):
+            field = _attr_root_field(target.value) \
+                if isinstance(target.value, ast.Attribute) else None
+        if field is None:
+            return
+        fields.add(field)
+        names, _ = value_sources(value)
+        for name in names:
+            if name in params:
+                param_fields.setdefault(name, set()).add(field)
+
+    for node in scoped_walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                record(target, node.value)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            record(node.target, node.value)
+    return FieldWriteSummary(
+        params, frozenset(fields),
+        {name: frozenset(found) for name, found in param_fields.items()})
+
+
 class CallResolver:
     """Resolves call sites against a :class:`SymbolTable`."""
 
     def __init__(self, table: SymbolTable):
         self.table = table
+        self._field_summaries: Dict[int, FieldWriteSummary] = {}
+
+    def field_summary(self, func: ast.AST) -> FieldWriteSummary:
+        """Cached per-function field-write summary (see
+        :class:`FieldWriteSummary`)."""
+        cached = self._field_summaries.get(id(func))
+        if cached is None:
+            cached = _summarize_field_writes(func)
+            self._field_summaries[id(func)] = cached
+        return cached
 
     # -- public api --------------------------------------------------------
 
@@ -149,7 +301,7 @@ class CallResolver:
         if declared is None:
             return []
         targets: List[ResolvedCall] = []
-        seen = set()
+        seen: set = set()
         candidates = [declared] + self.table.subclasses(declared.qualname)
         for candidate in candidates:
             found = self.table.find_method(candidate.qualname, method)

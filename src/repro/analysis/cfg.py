@@ -23,7 +23,13 @@ Design choices that matter to the rules built on top:
   bodies belong to other scopes and other CFGs.
 * statements containing ``yield``/``yield from``/``await`` are flagged
   ``is_boundary``: in the simulation kernel a yield is a scheduling
-  point, where other tasks (and crashes) may interleave.
+  point, where other tasks (and crashes) may interleave.  Each boundary
+  node also records *why* it is one in ``boundary_kinds`` — ``"yield"``,
+  ``"await"``, ``"gather"`` (an ``asyncio.gather`` call, which awaits a
+  whole batch), and the implicit per-iteration/enter awaits of
+  ``async for`` (``"async-for"``) and ``async with`` (``"async-with"``)
+  headers.  LiveRuntime code uses the async spellings; the concurrency
+  rules treat every kind as the same interleaving hazard.
 
 Node labels are ``L<lineno>:<StatementType>`` (``L7:Assign``), which
 makes edge lists directly assertable in tests.
@@ -32,9 +38,10 @@ makes edge lists directly assertable in tests.
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["CFG", "CFGNode", "build_cfg"]
+__all__ = ["CFG", "CFGNode", "build_cfg", "scoped_walk",
+           "stmt_roots"]
 
 _LOOP_TYPES = (ast.While, ast.For, ast.AsyncFor)
 _OPAQUE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
@@ -43,15 +50,17 @@ _OPAQUE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
 class CFGNode:
     """One control-flow node: a simple statement or a compound header."""
 
-    __slots__ = ("index", "label", "stmt", "is_boundary", "succs")
+    __slots__ = ("index", "label", "stmt", "is_boundary", "boundary_kinds",
+                 "succs")
 
     def __init__(self, index: int, label: str,
                  stmt: Optional[ast.AST] = None,
-                 is_boundary: bool = False):
+                 boundary_kinds: Tuple[str, ...] = ()):
         self.index = index
         self.label = label
         self.stmt = stmt
-        self.is_boundary = is_boundary
+        self.boundary_kinds = boundary_kinds
+        self.is_boundary = bool(boundary_kinds)
         self.succs: List["CFGNode"] = []
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -80,8 +89,15 @@ class CFG:
         """Labels of nodes that contain a scheduling boundary (yield)."""
         return sorted(node.label for node in self.nodes if node.is_boundary)
 
+    def boundary_kinds(self) -> Dict[str, Tuple[str, ...]]:
+        """``{label: kinds}`` for every boundary node — the testable shape
+        of the *why* metadata (``("yield",)``, ``("async-for", "await")``,
+        ...)."""
+        return {node.label: node.boundary_kinds
+                for node in self.nodes if node.is_boundary}
 
-def _boundary_roots(stmt: ast.AST) -> List[ast.AST]:
+
+def stmt_roots(stmt: ast.AST) -> List[ast.AST]:
     """The parts of a statement that belong to its *own* CFG node.
 
     Compound statements contribute only their header expression — their
@@ -100,19 +116,48 @@ def _boundary_roots(stmt: ast.AST) -> List[ast.AST]:
     return [stmt]
 
 
-def _has_boundary(node: ast.AST) -> bool:
-    """True if ``node`` contains a yield/await in *this* scope."""
+def scoped_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested scopes.
+
+    Like :func:`ast.walk`, but prunes nested ``def``/``async def``/
+    ``lambda``/``class`` bodies: what happens in another scope is not
+    part of *this* function's control flow.  The roots themselves are
+    still yielded (as opaque markers); only their children are skipped.
+    """
     stack = [node]
     while stack:
         current = stack.pop()
-        if isinstance(current, (ast.Yield, ast.YieldFrom, ast.Await)):
-            return True
-        for child in ast.iter_child_nodes(current):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.Lambda, ast.ClassDef)):
-                continue  # different scope
-            stack.append(child)
-    return False
+        yield current
+        if current is not node and isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                          ast.Lambda, ast.ClassDef)):
+            continue  # different scope
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _is_gather_call(node: ast.AST) -> bool:
+    """``asyncio.gather(...)`` / bare ``gather(...)`` — awaits a batch."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "gather"
+    return (isinstance(func, ast.Attribute) and func.attr == "gather"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "asyncio")
+
+
+def _expr_boundary_kinds(root: ast.AST) -> List[str]:
+    """Boundary kinds contributed by an expression tree in *this* scope."""
+    kinds: set = set()
+    for current in scoped_walk(root):
+        if isinstance(current, (ast.Yield, ast.YieldFrom)):
+            kinds.add("yield")
+        elif isinstance(current, ast.Await):
+            kinds.add("await")
+        elif _is_gather_call(current):
+            kinds.add("gather")
+    return sorted(kinds)
 
 
 def _is_constant_true(test: ast.expr) -> bool:
@@ -149,11 +194,20 @@ class _Builder:
         # An opaque nested scope is never a boundary of *this* scope,
         # even though its body may contain yields of its own; compound
         # headers only own their test/iterable, not their bodies.
-        node = CFGNode(len(self.nodes), label, stmt,
-                       is_boundary=stmt is not None
-                       and not isinstance(stmt, _OPAQUE_TYPES)
-                       and any(_has_boundary(root)
-                               for root in _boundary_roots(stmt)))
+        kinds: List[str] = []
+        if stmt is not None and not isinstance(stmt, _OPAQUE_TYPES):
+            found: set = set()
+            for root in stmt_roots(stmt):
+                found.update(_expr_boundary_kinds(root))
+            # Async headers carry an implicit await even when their
+            # header expression contains none: ``async for`` awaits the
+            # iterator each round, ``async with`` awaits enter/exit.
+            if isinstance(stmt, ast.AsyncFor):
+                found.add("async-for")
+            elif isinstance(stmt, ast.AsyncWith):
+                found.add("async-with")
+            kinds = sorted(found)
+        node = CFGNode(len(self.nodes), label, stmt, tuple(kinds))
         self.nodes.append(node)
         return node
 

@@ -22,7 +22,7 @@ from typing import Any, Dict
 
 from repro.analysis.cfg import CFG, CFGNode
 
-__all__ = ["ForwardProblem", "solve_forward"]
+__all__ = ["ForwardProblem", "SetUnionProblem", "solve_forward"]
 
 
 class ForwardProblem:
@@ -39,6 +39,22 @@ class ForwardProblem:
     def join(self, left: Any, right: Any) -> Any:
         """Merge states at a control-flow confluence."""
         raise NotImplementedError  # pragma: no cover
+
+
+class SetUnionProblem(ForwardProblem):
+    """The common may-analysis shape: a frozenset state, union join.
+
+    Subclasses implement only :meth:`transfer`.  Monotonicity holds as
+    long as transfer never removes facts it did not itself introduce for
+    a *stronger* reason (e.g. a rebind killing stale entries for the
+    rebound name) — the standard gen/kill discipline.
+    """
+
+    def initial(self) -> Any:
+        return frozenset()
+
+    def join(self, left: Any, right: Any) -> Any:
+        return left | right
 
 
 def solve_forward(cfg: CFG, problem: ForwardProblem) -> Dict[int, Any]:

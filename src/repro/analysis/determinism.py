@@ -54,7 +54,7 @@ _UUID_FNS = frozenset({"uuid1", "uuid4"})
 
 def _attr_path(node: ast.AST) -> Tuple[str, ...]:
     """Flatten ``a.b.c`` into ``("a", "b", "c")`` (empty if not a chain)."""
-    parts = []
+    parts: list = []
     while isinstance(node, ast.Attribute):
         parts.append(node.attr)
         node = node.value
@@ -232,7 +232,7 @@ class SetIterationRule(Rule):
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
-            iters = []
+            iters: list = []
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 iters.append(node.iter)
             elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
@@ -354,7 +354,7 @@ class RandomnessTaintRule(Rule):
             names = {stmt.target.id} if isinstance(stmt.target, ast.Name) \
                 else set()
             return state | frozenset(names) if value_tainted else state
-        names = set()
+        names: set = set()
         for target in targets:
             elts = target.elts if isinstance(target, (ast.Tuple, ast.List)) \
                 else [target]

@@ -96,8 +96,12 @@ class ProjectContext:
         self.contexts = list(contexts)
         self.by_module: Dict[str, ModuleContext] = {
             ctx.module: ctx for ctx in self.contexts}
-        self._symbols = None
-        self._resolver = None
+        self._symbols: Optional[object] = None
+        self._resolver: Optional[object] = None
+        #: Scratch space for rule families that share one expensive
+        #: whole-program pass (e.g. the REC rules' recovery closure),
+        #: keyed by family name.
+        self.analysis_cache: Dict[str, object] = {}
 
     @property
     def symbols(self):
@@ -187,9 +191,8 @@ def _parse_context(source: str, module: str, path: str) -> ModuleContext:
     return ModuleContext(module, path, tree, source)
 
 
-def _run_rules(contexts: Sequence[ModuleContext],
-               registry: RuleRegistry) -> List[Finding]:
-    """Module rules per file, project rules once, suppressions applied."""
+def _live_filter(contexts: Sequence[ModuleContext]):
+    """A ``live(finding) -> bool`` predicate honouring noqa comments."""
     suppressed: Dict[str, Dict[int, Set[str]]] = {
         ctx.path: _suppressions(ctx.lines) for ctx in contexts}
 
@@ -197,21 +200,86 @@ def _run_rules(contexts: Sequence[ModuleContext],
         allowed = suppressed.get(finding.path, {}).get(finding.line, ())
         return _ALL_RULES not in allowed and finding.rule_id not in allowed
 
-    findings: List[Finding] = []
+    return live
+
+
+def _module_findings(ctx: ModuleContext,
+                     registry: RuleRegistry) -> Iterator[Finding]:
+    for rule in registry.rules():
+        if rule.requires_project or not rule.applies_to(ctx.module):
+            continue
+        yield from rule.check(ctx)
+
+
+def _project_findings(contexts: Sequence[ModuleContext],
+                      registry: RuleRegistry) -> Iterator[Finding]:
     project_rules = [rule for rule in registry.rules()
                      if rule.requires_project]
+    if not project_rules:
+        return
+    project = ProjectContext(contexts)
+    for rule in project_rules:
+        yield from rule.check_project(project)
+
+
+def _run_rules(contexts: Sequence[ModuleContext],
+               registry: RuleRegistry) -> List[Finding]:
+    """Module rules per file, project rules once, suppressions applied."""
+    live = _live_filter(contexts)
+    findings: List[Finding] = []
     for ctx in contexts:
-        for rule in registry.rules():
-            if rule.requires_project or not rule.applies_to(ctx.module):
-                continue
-            findings.extend(finding for finding in rule.check(ctx)
-                            if live(finding))
-    if project_rules:
-        project = ProjectContext(contexts)
-        for rule in project_rules:
-            findings.extend(finding
-                            for finding in rule.check_project(project)
-                            if live(finding))
+        findings.extend(f for f in _module_findings(ctx, registry)
+                        if live(f))
+    findings.extend(f for f in _project_findings(contexts, registry)
+                    if live(f))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _module_rule_worker(filepaths: Sequence[str]) -> List[Finding]:
+    """Pool target: parse a batch of files and run the module rules.
+
+    Each worker process re-reads and re-parses its batch (ASTs don't
+    cross process boundaries cheaply) and applies suppressions locally,
+    so the driver only merges finished ``Finding`` lists.  The driver
+    has already parsed every file, so errors here are unexpected and
+    propagate as-is.
+    """
+    registry = default_registry()
+    findings: List[Finding] = []
+    for filepath in filepaths:
+        with open(filepath, encoding="utf-8") as handle:
+            source = handle.read()
+        ctx = _parse_context(source, module_name_for_path(filepath),
+                             filepath)
+        live = _live_filter([ctx])
+        findings.extend(f for f in _module_findings(ctx, registry)
+                        if live(f))
+    return findings
+
+
+def _run_rules_parallel(contexts: Sequence[ModuleContext],
+                        registry: RuleRegistry,
+                        jobs: int) -> List[Finding]:
+    """Fan the per-file module rules out to a process pool.
+
+    The whole-program rules cannot be split (they need every AST at
+    once), so the driver runs them while the pool chews through the
+    module rules; the merged result is sorted with the same key as the
+    serial path and is byte-identical to it.
+    """
+    import multiprocessing
+
+    batches = [[ctx.path for ctx in contexts[i::jobs]]
+               for i in range(jobs)]
+    batches = [batch for batch in batches if batch]
+    with multiprocessing.Pool(len(batches)) as pool:
+        pending = pool.map_async(_module_rule_worker, batches)
+        live = _live_filter(contexts)
+        findings = [f for f in _project_findings(contexts, registry)
+                    if live(f)]
+        for batch_findings in pending.get():
+            findings.extend(batch_findings)
     findings.sort(key=Finding.sort_key)
     return findings
 
@@ -256,8 +324,16 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
 
 
 def analyze_paths(paths: Iterable[str], *,
-                  registry: Optional[RuleRegistry] = None) -> Report:
-    """Analyze every python file under ``paths``."""
+                  registry: Optional[RuleRegistry] = None,
+                  jobs: int = 1) -> Report:
+    """Analyze every python file under ``paths``.
+
+    ``jobs > 1`` runs the per-file module rules in a process pool (the
+    report is byte-identical to a serial run).  Workers rebuild the
+    default registry, so a *custom* registry forces the serial path —
+    silently, because the result is the same either way.
+    """
+    custom_registry = registry is not None
     if registry is None:
         registry = default_registry()
     contexts: List[ModuleContext] = []
@@ -266,4 +342,7 @@ def analyze_paths(paths: Iterable[str], *,
             source = handle.read()
         contexts.append(_parse_context(
             source, module_name_for_path(filepath), filepath))
+    if jobs > 1 and len(contexts) > 1 and not custom_registry:
+        return Report(_run_rules_parallel(contexts, registry, jobs),
+                      len(contexts))
     return Report(_run_rules(contexts, registry), len(contexts))

@@ -11,9 +11,12 @@ Exit status contract (relied on by CI and the self-check test):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro.analysis.baseline import (filter_baselined, load_baseline,
+                                     write_baseline)
 from repro.analysis.diffs import changed_lines, filter_report
 from repro.analysis.engine import analyze_paths
 from repro.analysis.registry import default_registry
@@ -21,7 +24,22 @@ from repro.analysis.reporters import (format_json, format_rule_listing,
                                       format_sarif, format_text)
 from repro.errors import AnalysisError
 
-__all__ = ["add_lint_arguments", "execute_lint", "main"]
+__all__ = ["add_lint_arguments", "execute_lint", "main", "parse_jobs"]
+
+
+def parse_jobs(value: str) -> int:
+    """``--jobs`` values: a positive integer, or ``auto`` (one per CPU)."""
+    if value == "auto":
+        return os.cpu_count() or 1
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}")
+    return jobs
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -36,21 +54,50 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="report only findings on lines changed "
                              "since the given git ref (the whole tree is "
                              "still analyzed)")
+    parser.add_argument("--jobs", metavar="N", type=parse_jobs, default=1,
+                        help="worker processes for the per-file rules "
+                             "(N or 'auto'; default: 1, serial — output "
+                             "is identical either way)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="subtract the findings recorded in FILE "
+                             "(see --write-baseline); fail only on "
+                             "regressions")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="record the current findings as accepted "
+                             "debt in FILE and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
 
 
 def execute_lint(paths: List[str], output_format: str = "text",
                  list_rules: bool = False,
-                 diff_base: Optional[str] = None) -> int:
+                 diff_base: Optional[str] = None,
+                 jobs: int = 1,
+                 baseline_path: Optional[str] = None,
+                 write_baseline_path: Optional[str] = None) -> int:
     """Run the analyzer; print a report; return the process exit status."""
     registry = default_registry()
     if list_rules:
         print(format_rule_listing(registry.rules()))
         return 0
-    report = analyze_paths(paths, registry=registry)
+    report = analyze_paths(paths, jobs=jobs)
     if diff_base is not None:
         report = filter_report(report, changed_lines(diff_base))
+    if write_baseline_path is not None:
+        with open(write_baseline_path, "w", encoding="utf-8") as handle:
+            handle.write(write_baseline(report))
+        print(f"baseline: recorded {len(report.findings)} finding(s) "
+              f"in {write_baseline_path}")
+        return 0
+    if baseline_path is not None:
+        try:
+            with open(baseline_path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise AnalysisError(
+                f"cannot read baseline {baseline_path!r}: {exc}") from exc
+        report = filter_baselined(
+            report, load_baseline(text, source=baseline_path))
     if output_format == "json":
         print(format_json(report))
     elif output_format == "sarif":
@@ -65,13 +112,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="protocol-aware static analysis: determinism, "
-                    "write-ahead-logging, recovery-completeness and "
-                    "sim-coroutine lints")
+                    "write-ahead-logging, recovery-completeness, "
+                    "concurrency-atomicity and sim-coroutine lints")
     add_lint_arguments(parser)
     args = parser.parse_args(argv)
     try:
         return execute_lint(args.paths, args.output_format, args.list_rules,
-                            args.diff)
+                            args.diff, args.jobs, args.baseline,
+                            args.write_baseline)
     except AnalysisError as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return 2

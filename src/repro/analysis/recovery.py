@@ -54,7 +54,7 @@ _PROTOCOL_SCOPE = ("repro.core", "repro.consensus", "repro.quorum",
 
 
 def _attr_path(node: ast.AST) -> Tuple[str, ...]:
-    parts = []
+    parts: list = []
     while isinstance(node, ast.Attribute):
         parts.append(node.attr)
         node = node.value
@@ -371,10 +371,10 @@ class _RecoveryAnalysis:
 
 def _shared_analysis(project: ProjectContext,
                      scope_rule: Rule) -> _RecoveryAnalysis:
-    cache = getattr(project, "_recovery_analysis", None)
-    if cache is None:
+    cache = project.analysis_cache.get("recovery")
+    if not isinstance(cache, _RecoveryAnalysis):
         cache = _RecoveryAnalysis(project, scope_rule)
-        project._recovery_analysis = cache
+        project.analysis_cache["recovery"] = cache
     return cache
 
 

@@ -130,13 +130,17 @@ class RuleRegistry:
 def default_registry() -> RuleRegistry:
     """The registry holding every built-in rule family."""
     # Imported here so the registry module stays import-cycle-free.
+    from repro.analysis.aliasing import ALIASING_RULES
+    from repro.analysis.atomicity import ATOMICITY_RULES
     from repro.analysis.determinism import DETERMINISM_RULES
+    from repro.analysis.idempotence import IDEMPOTENCE_RULES
     from repro.analysis.recovery import RECOVERY_RULES
     from repro.analysis.simrules import SIM_RULES
     from repro.analysis.wal import WAL_RULES
 
     registry = RuleRegistry()
     for rule in (*DETERMINISM_RULES, *WAL_RULES, *RECOVERY_RULES,
+                 *ATOMICITY_RULES, *ALIASING_RULES, *IDEMPOTENCE_RULES,
                  *SIM_RULES):
         registry.register(rule)
     return registry

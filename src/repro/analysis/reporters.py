@@ -50,7 +50,7 @@ def format_sarif(report: Report, rules: List[Rule]) -> str:
     1-based in SARIF; findings carry 0-based columns internally.
     """
     rule_index = {rule.id: position for position, rule in enumerate(rules)}
-    results = []
+    results: list = []
     for finding in report.findings:
         result = {
             "ruleId": finding.rule_id,
@@ -97,7 +97,7 @@ def format_sarif(report: Report, rules: List[Rule]) -> str:
 
 def format_rule_listing(rules: List[Rule]) -> str:
     """Human-readable catalogue of registered rules."""
-    lines = []
+    lines: list = []
     for rule in rules:
         scope = ", ".join(rule.scope) if rule.scope else "all modules"
         lines.append(f"{rule.id}  {rule.name}")

@@ -24,13 +24,24 @@ resolve is simply unknown, and the rules treat unknown calls as opaque.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 __all__ = ["ClassInfo", "ModuleSymbols", "SymbolTable",
            "VOLATILE_DECLARATION"]
 
 #: Class attribute declaring the volatile mirrors of durable state.
 VOLATILE_DECLARATION = "VOLATILE_FIELDS"
+
+#: Constructor names / annotation heads that denote builtin mutable
+#: containers.  Used to populate :attr:`ClassInfo.mutable_attrs`.
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "bytearray", "defaultdict", "deque",
+    "OrderedDict", "Counter",
+})
+_MUTABLE_ANNOTATIONS = frozenset({
+    "Dict", "List", "Set", "DefaultDict", "Deque", "MutableMapping",
+    "MutableSequence", "MutableSet", "dict", "list", "set", "deque",
+})
 
 
 def _literal(value: ast.expr) -> Tuple[bool, object]:
@@ -68,7 +79,8 @@ class ClassInfo:
     """Everything the analyzer knows about one class definition."""
 
     __slots__ = ("name", "module", "qualname", "node", "base_refs",
-                 "methods", "constants", "volatile_fields", "attr_types")
+                 "methods", "constants", "volatile_fields", "attr_types",
+                 "mutable_attrs")
 
     def __init__(self, name: str, module: str, node: ast.ClassDef):
         self.name = name
@@ -80,6 +92,12 @@ class ClassInfo:
         self.constants: Dict[str, object] = {}
         self.volatile_fields: Tuple[str, ...] = ()
         self.attr_types: Dict[str, str] = {}  # attr -> annotation head name
+        # Attrs initialized in __init__ to a *builtin* mutable container
+        # (dict/list/set literal, comprehension, or constructor call) —
+        # the shapes the aliasing rule considers escape-dangerous.
+        # Custom classes are deliberately excluded: their sharing
+        # semantics are their own business.
+        self.mutable_attrs: FrozenSet[str] = frozenset()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ClassInfo {self.qualname}>"
@@ -120,8 +138,34 @@ def _scan_class(info: ClassInfo) -> None:
         _scan_init(info, init)
 
 
+def _annotation_head(annotation: Optional[ast.expr]) -> str:
+    """The outermost identifier of any annotation (``Dict[K, V]`` ->
+    ``Dict``), unlike :func:`_annotation_name` which unwraps only
+    ``Optional``."""
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_head(annotation.value)
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and \
+            isinstance(annotation.value, str):
+        head = annotation.value.strip().split("[", 1)[0].strip()
+        return head if head.isidentifier() else ""
+    return ""
+
+
+def _is_mutable_value(value: Optional[ast.expr]) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    return (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_CONSTRUCTORS)
+
+
 def _scan_init(info: ClassInfo, init: ast.AST) -> None:
-    """Infer ``self.<attr>`` classes from ``__init__``."""
+    """Infer ``self.<attr>`` classes and mutability from ``__init__``."""
     args = getattr(init, "args", None)
     annotations: Dict[str, str] = {}
     if args is not None:
@@ -129,20 +173,29 @@ def _scan_init(info: ClassInfo, init: ast.AST) -> None:
             head = _annotation_name(arg.annotation)
             if head:
                 annotations[arg.arg] = head
+    mutable: List[str] = []
     for stmt in ast.walk(init):
-        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        annotation: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value, annotation = stmt.target, stmt.value, \
+                stmt.annotation
+        else:
             continue
-        target = stmt.targets[0]
         if not (isinstance(target, ast.Attribute)
                 and isinstance(target.value, ast.Name)
                 and target.value.id == "self"):
             continue
-        value = stmt.value
         if isinstance(value, ast.Name) and value.id in annotations:
             info.attr_types[target.attr] = annotations[value.id]
         elif isinstance(value, ast.Call) and \
                 isinstance(value.func, ast.Name):
             info.attr_types[target.attr] = value.func.id
+        if _is_mutable_value(value) or \
+                _annotation_head(annotation) in _MUTABLE_ANNOTATIONS:
+            mutable.append(target.attr)
+    info.mutable_attrs = frozenset(mutable)
 
 
 class SymbolTable:
@@ -262,7 +315,7 @@ class SymbolTable:
     def subclasses(self, qualname: str) -> List[ClassInfo]:
         """All transitive subclasses of ``qualname``."""
         found: List[ClassInfo] = []
-        seen = set()
+        seen: set = set()
         stack = list(self._subclasses.get(qualname, ()))
         while stack:
             sub = stack.pop()
@@ -283,6 +336,13 @@ class SymbolTable:
                 if field not in fields:
                     fields.append(field)
         return tuple(fields)
+
+    def mutable_attrs(self, qualname: str) -> FrozenSet[str]:
+        """Union of builtin-mutable-container attrs over the MRO."""
+        found: FrozenSet[str] = frozenset()
+        for info in self.mro(qualname):
+            found |= info.mutable_attrs
+        return found
 
     def find_method(self, qualname: str, name: str,
                     after: Optional[str] = None

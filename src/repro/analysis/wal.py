@@ -42,7 +42,8 @@ import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.cfg import CFG, CFGNode, build_cfg
-from repro.analysis.dataflow import ForwardProblem, solve_forward
+from repro.analysis.dataflow import (ForwardProblem, SetUnionProblem,
+                                     solve_forward)
 from repro.analysis.engine import Finding, ModuleContext, ProjectContext
 from repro.analysis.registry import Rule
 from repro.analysis.symbols import VOLATILE_DECLARATION, ClassInfo
@@ -77,7 +78,7 @@ _INHERITED = "<inherited>"
 
 
 def _attr_path(node: ast.AST) -> Tuple[str, ...]:
-    parts = []
+    parts: list = []
     while isinstance(node, ast.Attribute):
         parts.append(node.attr)
         node = node.value
@@ -242,19 +243,13 @@ def _dirty_description(dirty: frozenset) -> str:
 
 # -- WAL001: intraprocedural log-before-send ---------------------------------
 
-class _Wal001Problem(ForwardProblem):
+class _Wal001Problem(SetUnionProblem):
     """State: frozenset of (field, mutation line)."""
 
     def __init__(self, fields: Set[str],
                  events: Dict[int, List[_Event]]):
         self.fields = fields
         self.events = events
-
-    def initial(self):
-        return frozenset()
-
-    def join(self, left, right):
-        return left | right
 
     def transfer(self, node: CFGNode, state):
         for event in self.events.get(node.index, ()):

@@ -361,7 +361,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _compare(args)
         if args.command == "lint":
             return execute_lint(args.paths, args.output_format,
-                                args.list_rules, args.diff)
+                                args.list_rules, args.diff, args.jobs,
+                                args.baseline, args.write_baseline)
         return _info()
     except ReproError as exc:
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)

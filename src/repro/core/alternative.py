@@ -169,7 +169,12 @@ class AlternativeAtomicBroadcast(BasicAtomicBroadcast):
         if self.config.log_unordered:
             for message in self.node.storage.retrieve_list(
                     self.UNORDERED_KEY):
-                self._admit_locally(message)
+                # Volatile admission only (the base class never logs):
+                # these messages are already in the durable Unordered
+                # list, and the incremental-mode append in our override
+                # would re-append every one of them on each recovery,
+                # doubling the log per crash.
+                super()._admit_locally(message)
 
     def _announce_restore(self) -> None:
         """Replay the restored checkpoint to freshly-subscribed listeners."""

@@ -92,7 +92,7 @@ class HeartbeatDetector(NodeComponent):
         # crash-recovery model; volatile suffices for crash-stop).
         if self.durable_epoch:
             self.epoch = int(node.storage.retrieve(self.EPOCH_KEY, 0)) + 1
-            node.storage.log(self.EPOCH_KEY, self.epoch)
+            node.storage.log(self.EPOCH_KEY, self.epoch)  # repro: noqa(REC003) -- epochs must advance per restart so peers discard stale suspicions; skipping an epoch on a mid-recovery crash is harmless
         else:
             self.epoch += 1
         self._last_heard = {peer: sim.now for peer in self.endpoint.peers()}

@@ -1,0 +1,36 @@
+"""ALI001 negative fixture: mutable state shared across node boundaries.
+
+``build_cluster`` passes the *same* storage object to every node stack
+built in the loop — the finding anchors at the ``storage`` argument on
+line 23.  ``Proto.gossip`` puts a live mutable field straight into a
+message — the finding anchors at ``self.unordered`` on line 36.
+"""
+
+
+class MemoryStorage:
+
+    def __init__(self):
+        self.data = {}
+
+
+def build_stack(node_id, storage):
+    return (node_id, storage)
+
+
+def build_cluster(count):
+    stacks = []
+    for node_id in range(count):
+        stacks.append(build_stack(node_id, storage=shared_storage))
+    return stacks
+
+
+shared_storage = MemoryStorage()
+
+
+class Proto:
+
+    def __init__(self):
+        self.unordered = {}
+
+    def gossip(self):
+        self.endpoint.multisend(("digest", self.unordered))

@@ -1,0 +1,32 @@
+"""ALI001 near-miss fixture: per-node construction and copied payloads.
+
+The loop hands each stack a *fresh* ``MemoryStorage()`` (a call makes a
+new object per iteration), and ``gossip`` snapshots the mutable field
+with ``frozenset`` before it crosses the wire.  Both stay silent.
+"""
+
+
+class MemoryStorage:
+
+    def __init__(self):
+        self.data = {}
+
+
+def build_stack(node_id, storage):
+    return (node_id, storage)
+
+
+def build_cluster(count):
+    stacks = []
+    for node_id in range(count):
+        stacks.append(build_stack(node_id, storage=MemoryStorage()))
+    return stacks
+
+
+class Proto:
+
+    def __init__(self):
+        self.unordered = {}
+
+    def gossip(self):
+        self.endpoint.multisend(("digest", frozenset(self.unordered)))

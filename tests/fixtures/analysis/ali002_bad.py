@@ -1,0 +1,17 @@
+"""ALI002 negative fixture: handler stashes a received payload by
+reference.
+
+The handler is registered under a string message type, so the message
+class (and any immutability annotations) cannot be resolved — the
+stashed ``msg.members`` on line 17 must be assumed mutable and shared
+with the sender's heap in simulation.
+"""
+
+
+class Proto:
+
+    def on_start(self):
+        self.endpoint.register("peer.view", self._on_view)
+
+    def _on_view(self, msg, sender):
+        self.view = msg.members

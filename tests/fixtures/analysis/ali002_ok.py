@@ -1,0 +1,25 @@
+"""ALI002 near-miss fixture: copied or provably-immutable stashes.
+
+The registration names the message class, so field annotations resolve:
+``epoch`` is an ``int`` and may be stashed directly; ``members`` is
+defensively copied with ``tuple`` and the derived epoch goes through
+arithmetic (a fresh value).  All stay silent.
+"""
+
+
+class ViewMessage:
+
+    def __init__(self, members: list, epoch: int):
+        self.members = members
+        self.epoch = epoch
+
+
+class Proto:
+
+    def on_start(self):
+        self.endpoint.register(ViewMessage.type, self._on_view)
+
+    def _on_view(self, msg, sender):
+        self.view = tuple(msg.members)
+        self.epoch = msg.epoch + 1
+        self.last_epoch = msg.epoch

@@ -1,0 +1,25 @@
+"""ATM001 negative fixture: read-modify-write across a yield.
+
+``drain`` reads ``self.pending`` into a local, yields (a scheduling
+boundary), then writes the field back from the stale local — the
+finding anchors at the write (line 17).  ``note`` passes a
+boundary-crossing local derived from ``self.queue_depth`` to a helper
+that stores it back into the same field; the interprocedural finding
+anchors at the ``self._note(depth)`` call (line 22).
+"""
+
+
+class Proto:
+
+    def drain(self):
+        count = self.pending
+        yield self.signal.wait()
+        self.pending = count + 1
+
+    def note(self):
+        depth = self.queue_depth
+        yield self.signal.wait()
+        self._note(depth)
+
+    def _note(self, depth):
+        self.queue_depth = depth - 1

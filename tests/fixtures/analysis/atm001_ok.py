@@ -1,0 +1,20 @@
+"""ATM001 near-miss fixture: structurally close, stays silent.
+
+``drain`` re-reads the field after the boundary (the rebind kills the
+stale fact), and ``other`` writes a *different* field from the
+boundary-crossing local — neither is a lost-update hazard.
+"""
+
+
+class Proto:
+
+    def drain(self):
+        count = self.pending
+        yield self.signal.wait()
+        count = self.pending
+        self.pending = count + 1
+
+    def other(self):
+        count = self.pending
+        yield self.signal.wait()
+        self.backlog = count + 1

@@ -1,0 +1,15 @@
+"""ATM002 negative fixture: a yield inside a write_barrier section.
+
+The barrier is supposed to commit both logs atomically; the yield on
+line 14 hands control to the scheduler mid-batch.  The finding anchors
+at the yield, not the barrier.
+"""
+
+
+class Proto:
+
+    def commit(self):
+        with self.node.storage.write_barrier():
+            self.node.storage.log(("proto", "k"), self.value)
+            yield self.signal.wait()
+            self.node.storage.log(("proto", "v"), self.value)

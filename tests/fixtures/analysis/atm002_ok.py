@@ -1,0 +1,21 @@
+"""ATM002 near-miss fixture: boundaries adjacent to, not inside, the
+barrier.
+
+``commit`` yields *after* the section closes; ``nested`` contains a
+yield only inside a nested scope (another function's body).  Both stay
+silent.
+"""
+
+
+class Proto:
+
+    def commit(self):
+        with self.node.storage.write_barrier():
+            self.node.storage.log(("proto", "k"), self.value)
+        yield self.signal.wait()
+
+    def nested(self):
+        with self.node.storage.write_barrier():
+            def later():
+                yield 1
+            self.handler = later

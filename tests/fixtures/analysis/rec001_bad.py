@@ -13,7 +13,7 @@ class Proto:
 
     def on_start(self):
         self.epoch = self.node.storage.retrieve(self.EPOCH_KEY, 0)
-        self.node.storage.log(self.EPOCH_KEY, self.epoch + 1)
+        self.node.storage.log(self.EPOCH_KEY, self.epoch + 1)  # repro: noqa(REC003) -- deliberate epoch bump; this fixture targets REC001
 
     def on_view_change(self, view):
         self.view = view

@@ -14,7 +14,7 @@ class Proto:
 
     def on_start(self):
         self.epoch = self.node.storage.retrieve(self.EPOCH_KEY, 0)
-        self.node.storage.log(self.EPOCH_KEY, self.epoch + 1)
+        self.node.storage.log(self.EPOCH_KEY, self.epoch + 1)  # repro: noqa(REC003) -- deliberate epoch bump; this fixture targets REC001's closure
         self.endpoint.register("view", self._on_view)
 
     def _on_view(self, msg, sender):

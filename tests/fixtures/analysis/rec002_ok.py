@@ -14,7 +14,7 @@ class Proto:
 
     def on_start(self):
         self.epoch = self.node.storage.retrieve(self.EPOCH_KEY, 0)
-        self._persist(self.EPOCH_KEY, self.epoch + 1)
+        self._persist(self.EPOCH_KEY, self.epoch + 1)  # repro: noqa(REC003) -- deliberate epoch bump; this fixture targets REC002's helper forwarding
 
     def _persist(self, key, value):
         self.node.storage.log(key, value)

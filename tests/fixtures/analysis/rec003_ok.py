@@ -1,0 +1,23 @@
+"""REC003 near-miss fixture: recovery effects guarded into idempotence.
+
+The generation counter is bumped only in volatile state (the durable
+write is a constant first-boot marker), and ``_mark`` checks the
+durable list before appending — re-running ``on_start`` leaves storage
+byte-identical.  Everything stays silent.
+"""
+
+
+class Proto:
+    GEN_KEY = ("proto", "gen")
+    SEEN_KEY = ("proto", "seen")
+
+    def on_start(self):
+        self.generation = self.node.storage.retrieve(self.GEN_KEY, 0) + 1
+        if self.generation == 1:
+            self.node.storage.log(self.GEN_KEY, 1)
+        self._mark("boot")
+
+    def _mark(self, tag):
+        seen = self.node.storage.retrieve_list(self.SEEN_KEY)
+        if tag not in seen:
+            self.node.storage.append(self.SEEN_KEY, tag)

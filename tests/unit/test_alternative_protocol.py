@@ -225,6 +225,34 @@ class TestLoggedUnordered:
         cluster.run(until=30.0)
         assert "doomed" not in sequences(cluster)[0]
 
+    def test_recovery_does_not_regrow_unordered_log(self):
+        """Regression: restoring the Unordered set must not re-append it.
+
+        The incremental-mode override used to log every restored message
+        again, doubling the durable list per crash (found by REC003)."""
+        cluster = build(seed=13, alt=AlternativeConfig(
+            log_unordered=True, incremental=True,
+            checkpoint_interval=None))
+        cluster.run(until=0.3)
+        cluster.abcasts[0].submit("survivor")
+        cluster.run(until=1.0)
+        storage = cluster.nodes[0].storage
+        key = cluster.abcasts[0].UNORDERED_KEY
+        before = len(storage.retrieve_list(key))
+        assert before == 1
+        cluster.nodes[0].crash()
+        cluster.run(until=2.0)
+        cluster.nodes[0].recover()
+        cluster.run(until=3.0)
+        cluster.nodes[0].crash()
+        cluster.run(until=4.0)
+        cluster.nodes[0].recover()
+        cluster.run(until=5.0)
+        assert len(storage.retrieve_list(key)) == before
+        cluster.run(until=30.0)
+        assert "survivor" in sequences(cluster)[0]
+        assert sequences(cluster)[0] == sequences(cluster)[1]
+
     def test_incremental_logging_writes_less(self):
         def bytes_logged(incremental):
             cluster = build(seed=12, alt=AlternativeConfig(

@@ -196,3 +196,74 @@ def test_return_inside_loop_bypasses_loop_exit():
     """)
     assert ("L5:Return", "exit") in cfg.edges()
     assert ("L5:Return", "L6:Return") not in cfg.edges()
+
+
+# -- async constructs ---------------------------------------------------------
+
+def test_async_for_loops_like_for_and_is_a_boundary():
+    cfg = cfg_of("""
+        async def f(stream):
+            async for item in stream:
+                handle(item)
+            drain()
+    """)
+    # Same shape as a plain for-loop (back edge, false exit), but the
+    # header is a scheduling boundary: each iteration awaits __anext__.
+    assert cfg.edges() == [
+        ("L3:AsyncFor", "L4:Expr"),
+        ("L3:AsyncFor", "L5:Expr"),
+        ("L4:Expr", "L3:AsyncFor"),
+        ("L5:Expr", "exit"),
+        ("entry", "L3:AsyncFor"),
+    ]
+    assert cfg.boundary_kinds() == {"L3:AsyncFor": ("async-for",)}
+
+
+def test_async_with_header_and_inner_await_are_boundaries():
+    cfg = cfg_of("""
+        async def f(self):
+            async with self.lock:
+                await self.flush()
+            tail()
+    """)
+    assert cfg.edges() == [
+        ("L3:AsyncWith", "L4:Expr"),
+        ("L4:Expr", "L5:Expr"),
+        ("L5:Expr", "exit"),
+        ("entry", "L3:AsyncWith"),
+    ]
+    assert cfg.boundary_kinds() == {
+        "L3:AsyncWith": ("async-with",),
+        "L4:Expr": ("await",),
+    }
+
+
+def test_awaited_gather_records_both_kinds():
+    cfg = cfg_of("""
+        async def f(self):
+            results = await asyncio.gather(self.a(), self.b())
+            done(results)
+    """)
+    assert cfg.boundary_kinds() == {"L3:Assign": ("await", "gather")}
+
+
+def test_bare_gather_name_is_still_a_boundary():
+    cfg = cfg_of("""
+        def f(self):
+            yield gather(self.a(), self.b())
+            done()
+    """)
+    # ``from asyncio import gather`` style: the bare name counts, and
+    # the kinds merge with the yield that drives it.
+    assert cfg.boundary_kinds() == {"L3:Expr": ("gather", "yield")}
+
+
+def test_nested_async_scope_is_opaque():
+    cfg = cfg_of("""
+        async def outer(self):
+            async def helper():
+                await probe()
+            self.handler = helper
+    """)
+    # The await belongs to helper's scope: outer has no boundary nodes.
+    assert cfg.boundary_kinds() == {}

@@ -288,7 +288,10 @@ def test_deleting_log_before_send_trips_wal003(tmp_path):
     basic = tree / "core" / "basic.py"
     source = basic.read_text()
     barrier = ("        self.log_before_send("
-               "self.INCARNATION_KEY, self.incarnation)\n")
+               "self.INCARNATION_KEY, self.incarnation)"
+               "  # repro: noqa(REC003) -- Section 4.1: the incarnation "
+               "MUST advance monotonically per recovery; a crash "
+               "mid-bump only skips ids, never reuses one\n")
     assert barrier in source, "tripwire call site moved; update this test"
     basic.write_text(source.replace(barrier, ""))
     report = analyze_paths([str(tree)])
