@@ -272,7 +272,7 @@ class WriteAheadSendRule(Rule):
                  "e.g. an acceptor must log (promised, accepted) before "
                  "answering, or a recovered incarnation could un-promise "
                  "and break Uniform Agreement.")
-    scope = ("repro.core", "repro.consensus")
+    scope = ("repro.core", "repro.consensus", "repro.membership")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for class_node in ctx.tree.body:
@@ -591,7 +591,7 @@ class InterprocWalRule(Rule):
                  "see that on_start's spawned gossip task advertises the "
                  "incarnation counter, so the counter must be logged "
                  "before the spawn.")
-    scope = ("repro.core", "repro.consensus")
+    scope = ("repro.core", "repro.consensus", "repro.membership")
     requires_project = True
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
@@ -665,7 +665,7 @@ class DirectTransportSendRule(Rule):
                  "explain.")
     scope = ("repro.core", "repro.consensus", "repro.quorum",
              "repro.multigroup", "repro.fdetect", "repro.apps",
-             "repro.baselines")
+             "repro.baselines", "repro.membership")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

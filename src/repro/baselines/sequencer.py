@@ -92,6 +92,10 @@ class FixedSequencerBroadcast(NodeComponent):
         self.endpoint = endpoint
         self.sequencer_id = sequencer_id
         self.resend_interval = resend_interval
+        # Optional membership layer, wired by the harness like on the
+        # consensus-based stacks (the sequencer itself stays fixed; a
+        # view evicting it halts ordering, as documented above).
+        self.view_manager = None
         # Receiver state.
         self.agreed = AgreedQueue()
         self.next_seq = 1
@@ -121,6 +125,8 @@ class FixedSequencerBroadcast(NodeComponent):
         self._seq = 0
         self._highest_known = 0
         self._outstanding: Dict[MessageId, AppMessage] = {}
+        if self.view_manager is not None:
+            self._listeners.append(self.view_manager)
         self.endpoint.register(ForwardMessage.type, self._on_forward)
         self.endpoint.register(OrderMessage.type, self._on_order)
         self.endpoint.register(ResendRequest.type, self._on_resend)
@@ -166,6 +172,19 @@ class FixedSequencerBroadcast(NodeComponent):
 
     def delivered_count(self) -> int:
         return len(self.agreed)
+
+    def has_backlog(self, ordered=None) -> bool:
+        """True while this node holds messages not yet known ordered.
+
+        Mirrors :meth:`repro.core.basic.BasicAtomicBroadcast.has_backlog`:
+        ``ordered`` is the harness's record of ids delivered anywhere —
+        those are no longer this node's responsibility to push.
+        """
+        if not self._outstanding:
+            return False
+        if ordered is None:
+            return True
+        return any(mid not in ordered for mid in self._outstanding)
 
     # -- sequencer role -----------------------------------------------------------
 

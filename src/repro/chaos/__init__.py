@@ -31,7 +31,8 @@ from repro.chaos.inject import (FaultEvent, RandomCrashRecover, cut_off,
                                 install_timeline, rejoin)
 from repro.chaos.nemesis import (ClockJumpNemesis, CrashStormNemesis,
                                  DiskFaultNemesis, LossBurstNemesis,
-                                 Nemesis, PartitionNemesis, default_nemeses)
+                                 MembershipChurnNemesis, Nemesis,
+                                 PartitionNemesis, default_nemeses)
 
 __all__ = [
     "ChaosEvent",
@@ -40,6 +41,7 @@ __all__ = [
     "DiskFaultNemesis",
     "FaultEvent",
     "LossBurstNemesis",
+    "MembershipChurnNemesis",
     "Nemesis",
     "PartitionNemesis",
     "RandomCrashRecover",

@@ -99,6 +99,47 @@ class _BaseController:
         self.record(ChaosEvent(self.now, "submit", node=target,
                                payload=event.args["payload"]))
 
+    # Membership churn (shared: both harnesses expose the same
+    # add_node/submit_reconfig/current_view surface; only the crash that
+    # accompanies an eviction is runtime-specific and goes through the
+    # controller's own ``_apply_crash``).
+
+    def _member_up(self) -> bool:
+        """Is any current-view member up to carry an ordered command?"""
+        return any(nid in self.cluster.nodes and self.cluster.nodes[nid].up
+                   for nid in self.cluster.current_view().members)
+
+    def _apply_join(self, event: ChaosEvent) -> None:
+        if event.node in self.cluster.nodes:
+            return  # id already built (e.g. replanned join): nothing to do
+        if not self._member_up():
+            return  # nobody to order the join command right now
+        self.cluster.add_node(event.node)
+        self.record(event)
+
+    def _apply_leave(self, event: ChaosEvent) -> None:
+        self._apply_removal(event, evict=False)
+
+    def _apply_evict(self, event: ChaosEvent) -> None:
+        self._apply_removal(event, evict=True)
+
+    def _apply_removal(self, event: ChaosEvent, evict: bool) -> None:
+        view = self.cluster.current_view()
+        if event.node not in view.members:
+            return  # already removed (or never joined): ordered no-op spared
+        if len(view.members) <= 2:
+            return  # keep the view able to form meaningful quorums
+        if not self._member_up():
+            return
+        self.cluster.submit_reconfig("evict" if evict else "leave",
+                                     event.node)
+        self.record(event)
+        if evict and event.node in self.cluster.nodes \
+                and self.cluster.nodes[event.node].up:
+            # Eviction expels a faulty process: crash it through the
+            # runtime-specific handler (which records the crash too).
+            self.apply(ChaosEvent(self.now, "crash", node=event.node))
+
     # -- runtime-specific hooks ------------------------------------------------
 
     @property

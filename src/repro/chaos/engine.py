@@ -23,7 +23,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.controller import LiveChaosController, SimChaosController
 from repro.chaos.events import ChaosEvent, format_timeline
-from repro.chaos.nemesis import Nemesis, default_nemeses
+from repro.chaos.nemesis import MembershipChurnNemesis, Nemesis, \
+    default_nemeses
 from repro.errors import ReproError
 from repro.harness.cluster import Cluster, ClusterConfig
 from repro.storage.faulty import FaultyStorage
@@ -48,7 +49,8 @@ class ChaosConfig:
                  stubborn_choices: Sequence[bool] = (False, True),
                  submissions: Tuple[int, int] = (6, 12),
                  settle_limit: float = 300.0,
-                 nemeses: Optional[Sequence[Nemesis]] = None):
+                 nemeses: Optional[Sequence[Nemesis]] = None,
+                 churn: bool = False):
         if runtime not in ("sim", "live"):
             raise ReproError(f"unknown chaos runtime {runtime!r}")
         self.seeds = seeds
@@ -63,6 +65,14 @@ class ChaosConfig:
         self.settle_limit = settle_limit
         self.nemeses = list(nemeses) if nemeses is not None \
             else default_nemeses(runtime)
+        # Membership churn is opt-in: appending the nemesis changes the
+        # per-seed draw sequence, so ``churn=True`` defines a *different*
+        # scenario family rather than perturbing the default one.
+        self.churn = churn
+        if churn:
+            self.nemeses.extend(
+                nemesis for nemesis in [MembershipChurnNemesis()]
+                if runtime in nemesis.runtimes)
 
 
 class SeedResult:

@@ -19,9 +19,13 @@ __all__ = ["ChaosEvent", "format_timeline", "KINDS"]
 # scenario's base rate); ``torn_write`` arms a one-shot disk fault that
 # crashes its victim mid-log; ``clock_jump`` skews the live runtime's
 # clock; ``submit`` A-broadcasts a payload (redirected to an up node if
-# the chosen one is down).
+# the chosen one is down); ``join``/``leave``/``evict`` reconfigure the
+# membership through ordered commands (``join`` also builds and starts
+# the new node's stack; ``evict`` additionally crashes a running
+# victim — eviction models expelling a faulty process).
 KINDS = ("crash", "recover", "partition", "heal_all", "loss",
-         "loss_restore", "torn_write", "clock_jump", "submit")
+         "loss_restore", "torn_write", "clock_jump", "submit",
+         "join", "leave", "evict")
 
 
 class ChaosEvent:

@@ -25,8 +25,8 @@ from typing import List, Sequence, Tuple
 from repro.chaos.events import ChaosEvent
 
 __all__ = ["ClockJumpNemesis", "CrashStormNemesis", "DiskFaultNemesis",
-           "LossBurstNemesis", "Nemesis", "PartitionNemesis",
-           "default_nemeses"]
+           "LossBurstNemesis", "MembershipChurnNemesis", "Nemesis",
+           "PartitionNemesis", "default_nemeses"]
 
 
 class Nemesis:
@@ -189,8 +189,64 @@ class ClockJumpNemesis(Nemesis):
         return events
 
 
+class MembershipChurnNemesis(Nemesis):
+    """Elastic reconfiguration under fire: ordered joins, leaves, evictions.
+
+    Joins bring brand-new node ids (``max(node_ids)+1`` onward) into the
+    view by state transfer; removals shrink the view through ordered
+    ``leave``/``evict`` commands but never plan away more than
+    ``len(node_ids) - min_survivors`` of the original members (the
+    controller additionally refuses to shrink a view below two).  Joins
+    are planned early and removals late so a joiner usually has a
+    running view to transfer from before the cluster contracts around
+    it.
+
+    **Opt-in by design** — never part of :func:`default_nemeses`:
+    inserting it into the battery would shift every nemesis-selection
+    and planning draw, silently changing the fault timeline of every
+    existing seed.  Enable it via ``ChaosConfig(churn=True)`` or by
+    passing an explicit ``nemeses`` list.
+    """
+
+    name = "churn"
+    runtimes = ("sim",)
+
+    def __init__(self, joins: Tuple[int, int] = (1, 2),
+                 removals: Tuple[int, int] = (1, 2),
+                 evict_probability: float = 0.5,
+                 min_survivors: int = 2):
+        self.joins = joins
+        self.removals = removals
+        self.evict_probability = evict_probability
+        self.min_survivors = min_survivors
+
+    def plan(self, rng: random.Random, node_ids: Sequence[int],
+             horizon: float) -> List[ChaosEvent]:
+        events: List[ChaosEvent] = []
+        base = max(node_ids) + 1
+        for index in range(rng.randint(*self.joins)):
+            events.append(ChaosEvent(
+                rng.uniform(0.15 * horizon, 0.45 * horizon), "join",
+                node=base + index))
+        removable = max(0, len(node_ids) - self.min_survivors)
+        count = min(rng.randint(*self.removals), removable)
+        victims = rng.sample(list(node_ids), count) if count else []
+        for victim in victims:
+            kind = "evict" if rng.random() < self.evict_probability \
+                else "leave"
+            events.append(ChaosEvent(
+                rng.uniform(0.4 * horizon, 0.7 * horizon), kind,
+                node=victim))
+        return events
+
+
 def default_nemeses(runtime: str) -> List[Nemesis]:
-    """The standard battery applicable to one runtime."""
+    """The standard battery applicable to one runtime.
+
+    :class:`MembershipChurnNemesis` is deliberately absent — membership
+    churn is opt-in so the seed-to-timeline mapping of every existing
+    chaos scenario stays stable.
+    """
     battery: List[Nemesis] = [CrashStormNemesis(), PartitionNemesis(),
                               LossBurstNemesis(), DiskFaultNemesis(),
                               ClockJumpNemesis()]

@@ -101,6 +101,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "timeline printed")
     chaos.add_argument("--quiet", action="store_true",
                        help="print failing seeds only")
+    chaos.add_argument("--churn", action="store_true",
+                       help="add the membership-churn nemesis (joins, "
+                            "leaves and evictions composed with the "
+                            "fault scenarios); a different scenario "
+                            "family from the default sweep")
+
+    churn = commands.add_parser(
+        "churn", help="seeded elastic-reconfiguration scenario: grow by "
+                      "join-by-state-transfer, shrink by ordered "
+                      "leave/evict under a crash storm, then verify "
+                      "uniform total order across every epoch")
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--runtime", choices=["sim", "live"], default="sim")
+    churn.add_argument("--settle-limit", type=float, default=300.0,
+                       help="virtual (sim) or wall (live) settle budget")
+    churn.add_argument("--check-reproducibility", action="store_true",
+                       help="run the sim scenario twice and require a "
+                            "bit-identical view-install timeline")
 
     lint = commands.add_parser(
         "lint", help="protocol-aware static analysis (determinism, "
@@ -281,7 +299,7 @@ def _chaos(args) -> int:
     from repro.chaos.engine import ChaosConfig, explore, reproduce
     config = ChaosConfig(seeds=args.seeds, runtime=args.runtime,
                          master_seed=args.master_seed,
-                         horizon=args.horizon)
+                         horizon=args.horizon, churn=args.churn)
     if args.runtime == "live":
         # Real seconds per scenario: keep the per-seed cost bounded.
         config.settle_limit = 30.0
@@ -300,6 +318,23 @@ def _chaos(args) -> int:
               f"--master-seed {args.master_seed} "
               f"--horizon {args.horizon} --reproduce {failure.seed}")
     return 0 if report.ok else 1
+
+
+def _churn(args) -> int:
+    from repro.membership.scenario import (check_churn_reproducibility,
+                                           run_churn_scenario)
+    if args.check_reproducibility:
+        if args.runtime != "sim":
+            raise ReproError("--check-reproducibility requires the "
+                             "deterministic sim runtime")
+        report = check_churn_reproducibility(seed=args.seed)
+        print(report.describe())
+        print("\nview-install timeline bit-identical across re-runs: yes")
+        return 0
+    report = run_churn_scenario(seed=args.seed, runtime=args.runtime,
+                                settle_limit=args.settle_limit)
+    print(report.describe())
+    return 0
 
 
 def _compare(args) -> int:
@@ -357,6 +392,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run(args)
         if args.command == "chaos":
             return _chaos(args)
+        if args.command == "churn":
+            return _churn(args)
         if args.command == "compare":
             return _compare(args)
         if args.command == "lint":

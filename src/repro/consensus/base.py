@@ -66,6 +66,15 @@ class ConsensusService(NodeComponent):
         # locally-learned decision even after logs are garbage-collected.
         # Lives outside the fault model; protocols never read it.
         self.observer: Optional[Any] = None
+        # Instances below the floor have had their durable records
+        # garbage-collected here: this process must no longer participate
+        # in them (an acceptor whose memory of an instance is gone would
+        # otherwise hand out fresh promises and let a stale recovering
+        # proposer re-decide it differently).  Volatile — the protocol
+        # above re-establishes it from its durable checkpoint on
+        # recovery, *before* any message of the new incarnation is
+        # handled.
+        self.instance_floor = 0
 
     # -- paper interface -------------------------------------------------------
 
@@ -141,6 +150,11 @@ class ConsensusService(NodeComponent):
                 found[int(parts[1])] = self.node.storage.retrieve(key)
         return found
 
+    def set_instance_floor(self, k: int) -> None:
+        """Raise the participation floor (never lowers; idempotent)."""
+        if k > self.instance_floor:
+            self.instance_floor = k
+
     def discard_instances_below(self, k: int) -> int:
         """Garbage-collect proposal/decision logs of instances < ``k``.
 
@@ -149,6 +163,7 @@ class ConsensusService(NodeComponent):
         Returns the number of instances discarded.
         """
         assert self.node is not None
+        self.set_instance_floor(k)
         discarded = 0
         for key in list(self.node.storage.keys(self.PROPOSAL_KEY)):
             parts = key.split("/")
@@ -197,6 +212,7 @@ class ConsensusService(NodeComponent):
         self._decided_signal = {}
         self._decisions = {}
         self._proposals = {}
+        self.instance_floor = 0
 
     # -- algorithm hook ----------------------------------------------------------------
 

@@ -190,6 +190,17 @@ class PaxosConsensus(ConsensusService):
         self._attempts: Dict[int, _Attempt] = {}
         self._drivers: Set[int] = set()
         self._attempt_counter: Dict[int, int] = {}
+        # Member-set snapshot per driven instance.  A proposer only ever
+        # starts instance k after delivering the prefix through k-1, so
+        # its installed view at activation is the *same* view every
+        # other proposer of k uses — freezing it here keeps quorums of
+        # one instance mutually intersecting even while later view
+        # installs reshape ``endpoint.peers()`` under an in-flight
+        # attempt (two live views can be epochs apart and their
+        # majorities disjoint).  Volatile: a recovering proposer's view
+        # is again the view of its delivered prefix, so re-snapshotting
+        # reproduces the same set.
+        self._instance_members: Dict[int, Tuple[int, ...]] = {}
         self._shadow_storage: Dict[str, Any] = {}  # non-durable mode only
 
     # -- lifecycle ------------------------------------------------------------
@@ -199,6 +210,7 @@ class PaxosConsensus(ConsensusService):
         self._attempts = {}
         self._drivers = set()
         self._attempt_counter = {}
+        self._instance_members = {}
         self.endpoint.register(Prepare.type, self._on_prepare)
         self.endpoint.register(Promise.type, self._on_promise)
         self.endpoint.register(Accept.type, self._on_accept)
@@ -213,6 +225,7 @@ class PaxosConsensus(ConsensusService):
         self._attempts = {}
         self._drivers = set()
         self._attempt_counter = {}
+        self._instance_members = {}
         if not self.durable:
             # Crash-stop misuse guard: in the crash-stop model processes do
             # not come back, so volatile shadow storage is simply dropped.
@@ -284,6 +297,8 @@ class PaxosConsensus(ConsensusService):
             del self._acceptor[instance]
         for instance in [i for i in self._attempt_counter if i < k]:
             del self._attempt_counter[instance]
+        for instance in [i for i in self._instance_members if i < k]:
+            del self._instance_members[instance]
         return discarded
 
     # -- acceptor ------------------------------------------------------------------------
@@ -302,6 +317,20 @@ class PaxosConsensus(ConsensusService):
         self._acceptor[k] = state
         self._store((self.ACCEPTOR_KEY, k, "acceptor"), state)
 
+    def _view_changed(self) -> bool:
+        """True once the installed view has ever left epoch 0.
+
+        The participation floor only needs *enforcing* after a
+        reconfiguration: the GC watermark can pass a down process's
+        checkpoint solely because an ordered removal dropped it from the
+        member set, and that removal bumps the epoch (durably) before
+        any such GC runs.  Under a static view, below-floor traffic is
+        always a reordered straggler whose sender has already decided,
+        and answering it — the pre-membership behaviour — is harmless.
+        """
+        source = getattr(self.endpoint, "view_source", None)
+        return source is not None and source.epoch() > 0
+
     def _reply_decided(self, k: int, dst: int) -> bool:
         decision = self.decided_value(k)
         if decision is None:
@@ -311,6 +340,16 @@ class PaxosConsensus(ConsensusService):
 
     def _on_prepare(self, msg: Prepare, sender: int) -> None:
         if self._reply_decided(msg.k, sender):
+            return
+        if msg.k < self.instance_floor and self._view_changed():
+            # This instance's records were garbage-collected here: a
+            # fresh promise would let a stale recovering proposer
+            # re-decide it.  Stay silent; the sender catches up by state
+            # transfer instead (see ``_peer_behind``).  Enforced only
+            # once the view has ever changed: under a static membership
+            # the watermark never outruns a down peer's checkpoint, so a
+            # below-floor ballot there is a harmless reordered straggler
+            # whose proposer has long since decided.
             return
         promised, accepted_ballot, accepted_value = self._acceptor_state(msg.k)
         if msg.ballot >= promised:
@@ -324,6 +363,8 @@ class PaxosConsensus(ConsensusService):
     def _on_accept(self, msg: Accept, sender: int) -> None:
         if self._reply_decided(msg.k, sender):
             return
+        if msg.k < self.instance_floor and self._view_changed():
+            return  # records gone: no participation (see _on_prepare)
         promised, _, _ = self._acceptor_state(msg.k)
         if msg.ballot >= promised:
             self._set_acceptor_state(msg.k, (msg.ballot, msg.ballot, msg.value))
@@ -337,14 +378,18 @@ class PaxosConsensus(ConsensusService):
         attempt = self._attempts.get(msg.k)
         if attempt is None or attempt.ballot != msg.ballot:
             return
+        if sender not in self._members(msg.k):
+            return  # outside this instance's view: not quorum material
         attempt.promises[sender] = (msg.accepted_ballot, msg.accepted_value)
 
     def _on_accepted(self, msg: Accepted, sender: int) -> None:
         attempt = self._attempts.get(msg.k)
         if attempt is None or attempt.ballot != msg.ballot:
             return
+        if sender not in self._members(msg.k):
+            return  # quorums count the instance's pinned members only
         attempt.accepts.add(sender)
-        if len(attempt.accepts) >= self._quorum():
+        if len(attempt.accepts) >= self._quorum(msg.k):
             self._record_decision(msg.k, attempt.value)
             self.endpoint.multisend(  # repro: noqa(WAL003) -- decision is logged in durable mode; non-durable mode models crash-stop
                 Decide(msg.k, attempt.value))
@@ -362,13 +407,30 @@ class PaxosConsensus(ConsensusService):
 
     # -- instance driver ----------------------------------------------------------------------
 
-    def _quorum(self) -> int:
-        return len(self.endpoint.peers()) // 2 + 1
+    def _members(self, k: int) -> Tuple[int, ...]:
+        """The member set instance ``k`` runs under (pinned at activation)."""
+        members = self._instance_members.get(k)
+        if members is None:
+            members = tuple(self.endpoint.peers())
+        return members
+
+    def _quorum(self, k: int) -> int:
+        return len(self._members(k)) // 2 + 1
 
     def _next_ballot(self, k: int) -> int:
-        """A fresh, durable, leader-disjoint ballot for instance ``k``."""
+        """A fresh, durable, leader-disjoint ballot for instance ``k``.
+
+        The stride must exceed every member id — including this node's
+        own, which an *evicted* proposer draining its backlog may no
+        longer find among the members — so ``counter * stride +
+        node_id`` stays per-node unique; on the contiguous ids of a
+        static cluster it equals ``n``, reproducing the fixed-membership
+        ballot values bit for bit.
+        """
         assert self.node is not None
-        n = len(self.endpoint.peers())
+        peers = self._members(k)
+        n = max(len(peers), (max(peers) + 1) if peers else 1,
+                self.node.node_id + 1)
         counter = self._attempt_counter.get(k)
         if counter is None:
             counter = int(self._load((self.ACCEPTOR_KEY, k, "attempts"), 0))
@@ -381,6 +443,8 @@ class PaxosConsensus(ConsensusService):
         if k in self._drivers or self.decided_value(k) is not None:
             return
         assert self.node is not None
+        if k not in self._instance_members:
+            self._instance_members[k] = tuple(self.endpoint.peers())
         self._drivers.add(k)
         self.node.spawn(self._drive(k), f"paxos-{k}")
 
@@ -395,7 +459,8 @@ class PaxosConsensus(ConsensusService):
         assert self.node is not None
         sim = self.node.sim
         silent_timeouts = 0
-        while self.decided_value(k) is None:
+        while self.decided_value(k) is None and \
+                (k >= self.instance_floor or not self._view_changed()):
             if self.omega.is_leader() or silent_timeouts >= 2:
                 silent_timeouts = 0
                 yield from self._run_attempt(k)
@@ -421,7 +486,7 @@ class PaxosConsensus(ConsensusService):
         ballot = self._next_ballot(k)
         attempt = _Attempt(ballot)
         self._attempts[k] = attempt
-        quorum = self._quorum()
+        quorum = self._quorum(k)
 
         self.endpoint.multisend(Prepare(k, ballot))
         deadline = sim.now + self.attempt_timeout

@@ -90,6 +90,7 @@ class AlternativeAtomicBroadcast(BasicAtomicBroadcast):
 
     CHECKPOINT_KEY = ("ab", "ckpt")
     UNORDERED_KEY = ("ab", "unordered")
+    JOINING_KEY = ("ab", "joining")
 
     # In addition to the inherited incarnation mirror, ckpt_k mirrors the
     # durable checkpoint round: gossip advertises it to drive peer-side
@@ -105,6 +106,7 @@ class AlternativeAtomicBroadcast(BasicAtomicBroadcast):
         if namespace:
             self.CHECKPOINT_KEY = (f"ab@{namespace}", "ckpt")
             self.UNORDERED_KEY = (f"ab@{namespace}", "unordered")
+            self.JOINING_KEY = (f"ab@{namespace}", "joining")
         self.config = config or AlternativeConfig()
         self._app_checkpoint: Optional[Callable[[], Any]] = None
         self._pending_restore = False
@@ -155,9 +157,27 @@ class AlternativeAtomicBroadcast(BasicAtomicBroadcast):
             assert self.node is not None
             self.node.spawn(self._checkpoint_task(), "ab-checkpoint")
 
+    def mark_joining(self) -> None:
+        """Flag this stack as a joiner bootstrapping by state transfer.
+
+        Called by the harness before the node starts (the flag is
+        durable, so a crash mid-join resumes the join).  A joining node's
+        sequencer proposes nothing: the node would otherwise start
+        proposing at round 0, whose consensus logs the members may have
+        long since truncated (Figure 4, line c).  Instead it advertises
+        round ``-1`` in its gossip — "I have nothing; transfer
+        everything" — and any member answers with a ``state`` message,
+        which completes the join (:meth:`_complete_join`).
+        """
+        assert self.node is not None
+        self.node.storage.log(self.JOINING_KEY, True)
+        self._joining = True
+
     def _restore_volatile_state(self) -> None:
         """Recovery, Figure 3: retrieve ``(k, Agreed)`` and ``Unordered``."""
         assert self.node is not None
+        self._joining = bool(self.node.storage.retrieve(
+            self.JOINING_KEY, False))
         stored = self.node.storage.retrieve(self.CHECKPOINT_KEY, None)
         if stored is not None:
             stored_k, agreed_plain = stored
@@ -166,6 +186,19 @@ class AlternativeAtomicBroadcast(BasicAtomicBroadcast):
             self.agreed = AgreedQueue.from_plain(agreed_plain,
                                                  self.order_rule)
             self._pending_restore = True
+            # Re-arm the consensus participation floor before any
+            # message of the new incarnation arrives (the floor itself
+            # is volatile).  The checkpoint round over-approximates what
+            # was actually garbage-collected, so only do this once the
+            # membership has ever changed: a GC that can strand a
+            # process requires the watermark to have passed a down
+            # process's checkpoint, which only an ordered removal makes
+            # possible — and that removal's epoch is durable in the view
+            # record by the time such a GC runs.  Under a static view
+            # the floor stays 0 and recovery behaves exactly as before.
+            if self.view_manager is not None \
+                    and self.view_manager.epoch() > 0:
+                self.consensus.set_instance_floor(self.k)
         if self.config.log_unordered:
             for message in self.node.storage.retrieve_list(
                     self.UNORDERED_KEY):
@@ -275,26 +308,50 @@ class AlternativeAtomicBroadcast(BasicAtomicBroadcast):
     # -- Section 5.3: state transfer ----------------------------------------------------------------
 
     def _peer_behind(self, sender: int, peer_k: int) -> None:
-        """Gossip reception, line d: ``k_p > k_q + Δ`` ⇒ send state."""
+        """Gossip reception, line d: ``k_p > k_q + Δ`` ⇒ send state.
+
+        A negative ``peer_k`` marks a *joining* peer (see
+        :meth:`mark_joining`): it is answered whatever the lag, since its
+        join cannot complete without a state message.
+        """
         delta = self.config.delta
         assert self.node is not None
         if delta is None or sender == self.node.node_id:
             return
-        if self.k <= peer_k + delta:
+        # A peer is *stranded* when the round it is working on lies
+        # below our garbage-collection floor: its decision records are
+        # gone here, no Decide reply can ever reach it and acceptors
+        # below their floor stay silent, so a state message is its only
+        # way forward — send one whatever the lag.  Only possible after
+        # a reconfiguration (the watermark passes a down peer's
+        # checkpoint only once a removal excludes it), so the epoch gate
+        # keeps reordered stragglers in static runs on the plain Δ rule.
+        stranded = (self.view_manager is not None
+                    and self.view_manager.epoch() > 0
+                    and 0 <= peer_k < self.consensus.instance_floor)
+        if peer_k >= 0 and not stranded and self.k <= peer_k + delta:
             return
         now = self.node.sim.now
         last = self._last_state_sent.get(sender, -float("inf"))
         if now - last < self.config.state_resend_interval:
             return
         self._last_state_sent[sender] = now
+        view_plain = (self.view_manager.to_plain()
+                      if self.view_manager is not None else None)
         self.endpoint.send(sender,
-                           StateMessage(self.k - 1, self.agreed.to_plain()))
+                           StateMessage(self.k - 1, self.agreed.to_plain(),
+                                        view_plain))
         self.state_transfers_sent += 1
         self.node.sim.trace("state-transfer", self.node.node_id, "sent",
                             to=sender, k=self.k - 1)
 
     def _on_state(self, msg: StateMessage, sender: int) -> None:
         """Reception of ``state(k_q, A_q)`` (Figure 3, lines e–f)."""
+        if self.view_manager is not None:
+            # Adopt the sender's view before replaying its queue, so any
+            # reconfiguration commands inside the adopted suffix are
+            # recognised as already applied.
+            self.view_manager.adopt_plain(msg.view_plain)
         if self.k <= msg.k:  # p is late: skip the missed instances
             assert self.node is not None
             # (e) terminate task {sequencer}
@@ -320,10 +377,37 @@ class AlternativeAtomicBroadcast(BasicAtomicBroadcast):
             self.node.sim.trace("state-transfer", self.node.node_id,
                                 "adopted", from_=sender, skipped=skipped,
                                 new_k=self.k)
+            if self._joining:
+                self._complete_join()
             self._delivered.notify()
             # (f) fork task {sequencer}
             self._sequencer_task = self.node.spawn(
                 self._sequencer(), "ab-sequencer")
         else:
             self.gossip_k = max(self.gossip_k, msg.k)  # small de-sync
+            if self._joining:
+                # The sender is no further along than we are: the suffix
+                # we would miss by starting at our own round is empty,
+                # so the join completes in place.
+                self._complete_join()
             self._progress.notify()
+
+    def _complete_join(self) -> None:
+        """Seal a join: checkpoint the adopted state, clear the flag.
+
+        The checkpoint pins the recovery point at the transfer: if the
+        fresh member crashes before its first periodic checkpoint, it
+        recovers at the adopted round instead of re-joining from round 0
+        (whose consensus logs may already be truncated cluster-wide).
+        """
+        assert self.node is not None
+        with self.node.storage.write_barrier():
+            self.node.storage.log(self.CHECKPOINT_KEY,
+                                  [self.k, self.agreed.to_plain()])
+            self.ckpt_k = self.k
+            self.node.storage.log(self.JOINING_KEY, False)
+        self.consensus.set_instance_floor(self.ckpt_k)
+        self._joining = False
+        self.node.sim.trace("state-transfer", self.node.node_id,
+                            "join-complete", k=self.k)
+        self._progress.notify()

@@ -105,6 +105,12 @@ class BasicAtomicBroadcast(NodeComponent):
         self._listeners: List[DeliveryListener] = []
         self._sequencer_task = None
         self.replay_complete = False
+        # Optional membership layer (a ViewManager); wired by the
+        # harness before the node starts.  When set it is re-subscribed
+        # as the first delivery listener on every start, so views
+        # install before the application observes the command.
+        self.view_manager = None
+        self._joining = False
         # Run statistics (volatile; the harness samples them).
         self.rounds_completed = 0
         self.messages_delivered = 0
@@ -123,8 +129,11 @@ class BasicAtomicBroadcast(NodeComponent):
         self._progress = node.sim.signal(f"ab-progress@{node.node_id}")
         self._delivered = node.sim.signal(f"ab-delivered@{node.node_id}")
         self._listeners = []
+        if self.view_manager is not None:
+            self._listeners.append(self.view_manager)
         self._bump_incarnation()
         self._seq = 0
+        self._joining = False
         self._restore_volatile_state()
         self.endpoint.register(GossipMessage.type, self._on_gossip)
         # (a) fork task { sequencer and gossip }
@@ -211,12 +220,32 @@ class BasicAtomicBroadcast(NodeComponent):
         """Total messages delivered (including any checkpointed prefix)."""
         return len(self.agreed)
 
+    def has_backlog(self, ordered=None) -> bool:
+        """True while this node holds messages not yet known ordered.
+
+        ``ordered`` is an optional collection of
+        :class:`~repro.core.ids.MessageId` already delivered somewhere in
+        the cluster (the harness's omniscient record): messages in it are
+        not backlog for settling purposes — this node merely lags and
+        will catch up by gossip, without needing another round.
+        """
+        if not self.unordered:
+            return False
+        if ordered is None:
+            return True
+        return any(mid not in ordered for mid in self.unordered)
+
     # -- gossip task --------------------------------------------------------------------
 
     def _gossip_task(self):
         while True:
+            # A joining node advertises round -1: it holds no usable
+            # prefix, so any member treats it as maximally behind and
+            # answers with a state transfer (Section 5.3) regardless of
+            # how short the member's own history still is.
+            k = -1 if self._joining else self.k
             self.endpoint.multisend(
-                GossipMessage(self.k, frozenset(self.unordered.values()),
+                GossipMessage(k, frozenset(self.unordered.values()),
                               self._checkpoint_round()))
             yield self.gossip_interval
 
@@ -246,6 +275,13 @@ class BasicAtomicBroadcast(NodeComponent):
     def _sequencer(self):
         assert self.node is not None
         self._announce_restore()
+        while self._joining:
+            # A joining node must not propose from round 0 — it waits for
+            # a member's state transfer (which clears the gate and
+            # re-forks this task).  Gossip keeps running meanwhile, so
+            # members both learn of the joiner's submissions and see its
+            # round number lag, triggering the transfer.
+            yield self._progress.wait()
         while True:
             logged = self.consensus.proposal_of(self.k)
             if logged is not None:

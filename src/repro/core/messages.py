@@ -115,11 +115,19 @@ class StateMessage(WireMessage):
     ``agreed_plain`` is the portable representation produced by
     :meth:`repro.core.agreed.AgreedQueue.to_plain`, so the receiver can
     adopt it wholesale (Section 5.3).
+
+    ``view_plain`` piggybacks the sender's installed membership view
+    (:meth:`repro.membership.manager.ViewManager.to_plain`) when the
+    stack is view-parameterised; ``None`` under static membership.  The
+    receiver adopts the view *before* replaying the transferred suffix,
+    so reconfiguration commands inside the suffix are recognised as
+    already applied.
     """
 
     type = "ab.state"
-    fields = ("k", "agreed_plain")
+    fields = ("k", "agreed_plain", "view_plain")
 
-    def __init__(self, k: int, agreed_plain: Any):
+    def __init__(self, k: int, agreed_plain: Any, view_plain: Any = None):
         self.k = k
         self.agreed_plain = agreed_plain
+        self.view_plain = view_plain

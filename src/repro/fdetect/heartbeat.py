@@ -100,6 +100,12 @@ class HeartbeatDetector(NodeComponent):
         self._suspects = set()
         self._epochs = {}
         self.endpoint.register(Heartbeat.type, self._on_heartbeat)
+        if self.endpoint.view_source is not None:
+            # View installs reshape the monitored set.  Subscriptions are
+            # volatile on both sides; the view manager sits below this
+            # component in the stack, so its on_start (which clears the
+            # subscriber list) has already run.
+            self.endpoint.view_source.subscribe(self._on_view_change)
         node.spawn(self._beat_loop(), "fd-beat")
         node.spawn(self._check_loop(), "fd-check")
 
@@ -127,6 +133,25 @@ class HeartbeatDetector(NodeComponent):
         return self._timeouts.get(peer, self.initial_timeout)
 
     # -- internals -------------------------------------------------------------------
+
+    def _on_view_change(self, view) -> None:
+        """Align the monitored set with a freshly installed view."""
+        assert self.node is not None
+        now = self.node.sim.now
+        members = set(view.members)
+        for peer in list(self._last_heard):
+            if peer not in members:
+                del self._last_heard[peer]
+        removed = self._suspects - members
+        self._suspects -= removed
+        for peer in list(self._epochs):
+            if peer not in members:
+                del self._epochs[peer]
+        for peer in members:
+            if peer != self.node.node_id:
+                self._last_heard.setdefault(peer, now)
+        if removed:
+            self.changed.notify()
 
     def _on_heartbeat(self, message: Heartbeat, sender: int) -> None:
         assert self.node is not None
@@ -156,7 +181,12 @@ class HeartbeatDetector(NodeComponent):
             for peer in self.endpoint.peers():
                 if peer == node.node_id or peer in self._suspects:
                     continue
-                last = self._last_heard.get(peer, 0.0)
+                last = self._last_heard.get(peer)
+                if last is None:
+                    # First sight of a freshly joined member: start its
+                    # grace period now instead of instantly suspecting.
+                    self._last_heard[peer] = now
+                    continue
                 if now - last > self.timeout_for(peer):
                     self._suspects.add(peer)
                     node.sim.trace("fd", node.node_id, "suspect",

@@ -39,6 +39,7 @@ from repro.core.messages import AppMessage
 from repro.errors import SimulationError
 from repro.fdetect.heartbeat import HeartbeatDetector
 from repro.fdetect.omega import OmegaOracle
+from repro.membership import View, ViewManager, reconfig_payload
 from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.runtime import Node, SeedSequence, Simulator
 from repro.storage.memory import MemoryStorage
@@ -67,13 +68,20 @@ class ClusterConfig:
                  fd_period: float = 0.5,
                  fd_timeout: float = 2.0,
                  sequencer_id: int = 0,
-                 storage_factory: Callable[[int], Any] = None,
+                 storage_factory: Optional[Callable[[int], Any]] = None,
                  stubborn: Any = None):
         if protocol not in PROTOCOLS:
             raise SimulationError(
                 f"unknown protocol {protocol!r}; pick one of {PROTOCOLS}")
         if n < 1:
             raise SimulationError("a cluster needs at least one node")
+        if protocol == "sequencer" and not 0 <= sequencer_id < n:
+            # Fail at build time: a sequencer outside the member set
+            # would otherwise only surface as a mid-run send to an
+            # unknown destination.
+            raise SimulationError(
+                f"sequencer_id {sequencer_id} is not a member id "
+                f"(cluster has nodes 0..{n - 1})")
         self.n = n
         self.seed = seed
         self.protocol = protocol
@@ -113,8 +121,10 @@ class ClusterConfig:
 
 def build_node_stack(sim: Any, network: Any, config: ClusterConfig,
                      collector: MetricsCollector, node_id: int,
-                     storage: Any) -> Tuple[Node, Any, Optional[Any],
-                                            ReplicatedStateMachine]:
+                     storage: Any, view: Optional[View] = None,
+                     joining: bool = False) -> Tuple[
+                         Node, Any, Optional[Any],
+                         ReplicatedStateMachine, Optional[ViewManager]]:
     """Assemble one node's protocol stack on any runtime/medium pair.
 
     ``sim`` is any :class:`~repro.runtime.api.Runtime` and ``network``
@@ -122,10 +132,26 @@ def build_node_stack(sim: Any, network: Any, config: ClusterConfig,
     order is part of the determinism contract (components start in stack
     order), so both the simulated :class:`Cluster` and the live
     :class:`~repro.harness.live.LiveCluster` build through this one
-    function.  Returns ``(node, abcast, consensus-or-None, rsm)``.
+    function.
+
+    ``view`` parameterises the stack by a membership view: a
+    :class:`~repro.membership.manager.ViewManager` is stacked directly
+    above the endpoint (so its ``on_start`` restores the durable view
+    before any peer-consuming layer starts) and every layer derives
+    peers and quorums from the installed view instead of the medium's
+    full node list.  ``None`` builds the historic static-membership
+    stack.  ``joining`` flags a node added to a running cluster that
+    must bootstrap via state transfer instead of proposing from round 0
+    (alternative protocol only).
+
+    Returns ``(node, abcast, consensus-or-None, rsm, view-manager-or-None)``.
     """
     node = Node(sim, node_id, storage)
     endpoint = node.add_component(Endpoint(network))
+    view_manager: Optional[ViewManager] = None
+    if view is not None:
+        view_manager = node.add_component(ViewManager(view, collector))
+        endpoint.view_source = view_manager
     abcast: Any
     consensus: Optional[Any] = None
     if config.protocol == "sequencer":
@@ -163,34 +189,55 @@ def build_node_stack(sim: Any, network: Any, config: ClusterConfig,
                 endpoint, consensus,
                 gossip_interval=config.gossip_interval)
         node.add_component(abcast)
+    abcast.view_manager = view_manager
+    if joining and isinstance(abcast, AlternativeAtomicBroadcast) and \
+            (config.alt or AlternativeConfig()).delta is not None:
+        abcast.mark_joining()
     rsm = node.add_component(ReplicatedStateMachine(
         abcast, config.app_factory, collector))
     network.register(node)
-    return node, abcast, consensus, rsm
+    return node, abcast, consensus, rsm, view_manager
 
 
 def stack_settled(nodes: Dict[int, Node], abcasts: Dict[int, Any],
-                  collector: MetricsCollector, target: int) -> bool:
+                  collector: MetricsCollector, target: int,
+                  members: Optional[Tuple[int, ...]] = None) -> bool:
     """True when every up node has delivered everything outstanding.
 
     Shared between the simulated and live clusters so "settled" means the
-    same thing on both runtimes.
+    same thing on both runtimes.  ``members`` (the currently installed
+    view) restricts the must-deliver-everything obligation to view
+    members: an evicted-but-up node stops receiving the order stream by
+    design and must not hold settling hostage.  Backlog is still checked
+    on *every* up node — even a non-member's pending submissions reach
+    the members through its gossip and will be ordered.
     """
     for node_id, node in nodes.items():
         if not node.up:
             continue
+        if members is not None and node_id not in members:
+            continue
         if abcasts[node_id].delivered_count() < len(collector.first_delivery):
             return False
-    # Every up node saw every message that anyone delivered; check the
+    # Every up member saw every message that anyone delivered; check the
     # backlog too: anything broadcast but not yet ordered anywhere?
     undelivered = target - len(collector.first_delivery)
     if undelivered == 0:
         return True
     # Messages can be legitimately lost if their sender crashed before
     # dissemination; treat those as settled only if no up node still
-    # holds them in its Unordered set.
+    # holds one in its backlog.  A member's backlog blocks settling even
+    # when already ordered elsewhere (it will deliver it shortly — wait
+    # for that); a *non-member's* backlog only counts while it holds
+    # something not yet ordered anywhere, because the order stream no
+    # longer reaches it and already-ordered leftovers in its Unordered
+    # set would otherwise hold settling hostage forever.
     for node_id, node in nodes.items():
-        if node.up and getattr(abcasts[node_id], "unordered", None):
+        if not node.up:
+            continue
+        member = members is None or node_id in members
+        ordered = None if member else collector.first_delivery
+        if abcasts[node_id].has_backlog(ordered=ordered):
             return False
     return True
 
@@ -217,21 +264,26 @@ class Cluster:
         self.abcasts: Dict[int, Any] = {}
         self.consensuses: Dict[int, Any] = {}
         self.rsms: Dict[int, ReplicatedStateMachine] = {}
+        self.views: Dict[int, ViewManager] = {}
+        self.initial_view = View.initial(range(config.n))
         for node_id in range(config.n):
-            self._build_node(node_id)
+            self._build_node(node_id, self.initial_view)
 
     # -- construction ---------------------------------------------------------
 
-    def _build_node(self, node_id: int) -> None:
+    def _build_node(self, node_id: int, view: View,
+                    joining: bool = False) -> None:
         config = self.config
-        node, abcast, consensus, rsm = build_node_stack(
+        node, abcast, consensus, rsm, view_manager = build_node_stack(
             self.sim, self.medium, config, self.collector, node_id,
-            config.storage_factory(node_id))
+            config.storage_factory(node_id), view=view, joining=joining)
         if consensus is not None:
             self.consensuses[node_id] = consensus
         self.nodes[node_id] = node
         self.abcasts[node_id] = abcast
         self.rsms[node_id] = rsm
+        if view_manager is not None:
+            self.views[node_id] = view_manager
 
     # -- control -----------------------------------------------------------------
 
@@ -246,6 +298,65 @@ class Cluster:
     def submit(self, node_id: int, payload: Any) -> AppMessage:
         """A-broadcast ``payload`` from ``node_id`` (non-blocking)."""
         return self.rsms[node_id].submit(payload)
+
+    # -- membership ---------------------------------------------------------------
+
+    def current_view(self) -> View:
+        """The most advanced view installed anywhere in the cluster.
+
+        The omniscient-harness notion of "the" view: epochs are totally
+        ordered (reconfiguration commands are A-delivered), so the
+        max-epoch view is the one every member converges to.
+        """
+        view = self.initial_view
+        for manager in self.views.values():
+            if manager.view.epoch > view.epoch:
+                view = manager.view
+        return view
+
+    def submit_reconfig(self, op: str, target: int,
+                        via: Optional[int] = None) -> AppMessage:
+        """A-broadcast a reconfiguration command from an up member."""
+        if via is None:
+            members = self.current_view().members
+            candidates = [nid for nid in sorted(self.nodes)
+                          if self.nodes[nid].up and nid in members]
+            if not candidates:
+                raise SimulationError(
+                    "no up member available to submit a reconfiguration")
+            via = candidates[0]
+        return self.submit(via, reconfig_payload(op, target))
+
+    def add_node(self, node_id: Optional[int] = None) -> int:
+        """Grow the cluster: build, start and propose a joining node.
+
+        The new stack is built against the current view (its epoch-0
+        bootstrap opinion), started immediately — it gossips, but a
+        joining alternative-protocol node proposes nothing until a state
+        transfer completes — and a ``join`` command is A-broadcast
+        through an existing member so every process installs the widened
+        view at the same agreed position.
+        """
+        if node_id is None:
+            node_id = max(self.nodes) + 1
+        if node_id in self.nodes:
+            raise SimulationError(f"node {node_id} already exists")
+        self._build_node(node_id, self.current_view(), joining=True)
+        self.nodes[node_id].start()
+        self.submit_reconfig("join", node_id)
+        return node_id
+
+    def remove_node(self, node_id: int, evict: bool = False) -> AppMessage:
+        """Shrink the cluster by an ordered ``leave`` (or ``evict``).
+
+        The node's stack stays built and (unless crashed) up: removal is
+        a membership fact, not a process kill.  An evicted node that is
+        still running keeps gossiping its backlog to the members, but no
+        longer counts towards quorums and stops being addressed.
+        """
+        if node_id not in self.nodes:
+            raise SimulationError(f"unknown node {node_id}")
+        return self.submit_reconfig("evict" if evict else "leave", node_id)
 
     def crash(self, node_id: int) -> None:
         self.nodes[node_id].crash()
@@ -270,7 +381,7 @@ class Cluster:
 
     def _settled(self, target: int) -> bool:
         return stack_settled(self.nodes, self.abcasts, self.collector,
-                             target)
+                             target, members=self.current_view().members)
 
     # -- reporting -----------------------------------------------------------------
 
@@ -303,6 +414,8 @@ class Cluster:
                 "checkpoints": getattr(abcast, "checkpoints_taken", 0),
                 "recovery_durations": list(node.recovery_durations),
             }
+            if node_id in self.views:
+                node_stats[node_id]["epoch"] = self.views[node_id].view.epoch
         return RunMetrics(
             duration=self.sim.now,
             collector=self.collector,

@@ -27,13 +27,14 @@ Validity/Integrity/Total-Order/Termination predicates.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.apps.base import ReplicatedStateMachine
 from repro.core.messages import AppMessage
 from repro.errors import SimulationError
 from repro.harness.cluster import ClusterConfig, build_node_stack, \
     stack_settled
+from repro.membership import View, ViewManager, reconfig_payload
 from repro.metrics.collector import MetricsCollector
 from repro.runtime import Node
 from repro.runtime.live import LiveRuntime
@@ -85,16 +86,25 @@ class LiveCluster:
         self.abcasts: Dict[int, Any] = {}
         self.consensuses: Dict[int, Any] = {}
         self.rsms: Dict[int, ReplicatedStateMachine] = {}
+        self.views: Dict[int, ViewManager] = {}
+        self.initial_view = View.initial(range(config.n))
         self._started = False
         for node_id in range(config.n):
-            node, abcast, consensus, rsm = build_node_stack(
-                self.runtime, self.medium, config, self.collector,
-                node_id, FileStorage(self._node_dir(node_id)))
-            if consensus is not None:
-                self.consensuses[node_id] = consensus
-            self.nodes[node_id] = node
-            self.abcasts[node_id] = abcast
-            self.rsms[node_id] = rsm
+            self._build_node(node_id, self.initial_view)
+
+    def _build_node(self, node_id: int, view: View,
+                    joining: bool = False) -> None:
+        node, abcast, consensus, rsm, view_manager = build_node_stack(
+            self.runtime, self.medium, self.config, self.collector,
+            node_id, FileStorage(self._node_dir(node_id)), view=view,
+            joining=joining)
+        if consensus is not None:
+            self.consensuses[node_id] = consensus
+        self.nodes[node_id] = node
+        self.abcasts[node_id] = abcast
+        self.rsms[node_id] = rsm
+        if view_manager is not None:
+            self.views[node_id] = view_manager
 
     def _node_dir(self, node_id: int) -> str:
         return os.path.join(self.directory, f"node{node_id}")
@@ -116,6 +126,51 @@ class LiveCluster:
     def submit(self, node_id: int, payload: Any) -> AppMessage:
         """A-broadcast ``payload`` from ``node_id`` (non-blocking)."""
         return self.rsms[node_id].submit(payload)
+
+    # -- membership ---------------------------------------------------------
+
+    def current_view(self) -> View:
+        """The most advanced view installed anywhere in the cluster."""
+        view = self.initial_view
+        for manager in self.views.values():
+            if manager.view.epoch > view.epoch:
+                view = manager.view
+        return view
+
+    def submit_reconfig(self, op: str, target: int,
+                        via: Optional[int] = None) -> AppMessage:
+        """A-broadcast a reconfiguration command from an up member."""
+        if via is None:
+            members = self.current_view().members
+            candidates = [nid for nid in sorted(self.nodes)
+                          if self.nodes[nid].up and nid in members]
+            if not candidates:
+                raise SimulationError(
+                    "no up member available to submit a reconfiguration")
+            via = candidates[0]
+        return self.submit(via, reconfig_payload(op, target))
+
+    def add_node(self, node_id: Optional[int] = None) -> int:
+        """Grow the live cluster: build, bind, start, propose a joiner.
+
+        Mirrors :meth:`repro.harness.cluster.Cluster.add_node`; the new
+        node additionally binds a fresh UDP socket before starting.
+        """
+        if node_id is None:
+            node_id = max(self.nodes) + 1
+        if node_id in self.nodes:
+            raise SimulationError(f"node {node_id} already exists")
+        self._build_node(node_id, self.current_view(), joining=True)
+        self.runtime.loop.run_until_complete(self.network.open(node_id))
+        self.nodes[node_id].start()
+        self.submit_reconfig("join", node_id)
+        return node_id
+
+    def remove_node(self, node_id: int, evict: bool = False) -> AppMessage:
+        """Shrink the cluster by an ordered ``leave`` (or ``evict``)."""
+        if node_id not in self.nodes:
+            raise SimulationError(f"unknown node {node_id}")
+        return self.submit_reconfig("evict" if evict else "leave", node_id)
 
     def kill(self, node_id: int) -> None:
         """Kill the node's "process": volatile state, socket, storage handle.
@@ -153,7 +208,7 @@ class LiveCluster:
 
     def _settled(self, target: int) -> bool:
         return stack_settled(self.nodes, self.abcasts, self.collector,
-                             target)
+                             target, members=self.current_view().members)
 
     def close(self) -> None:
         """Tear the cluster down: crash nodes, close sockets and the loop.

@@ -131,6 +131,16 @@ def verify_run(cluster, good_nodes: Optional[List[int]] = None,
     collector = cluster.collector
     broadcast_ids = collector.broadcast_ids()
 
+    # Uniform views: membership reconfigurations are A-delivered, so every
+    # node must walk the same epoch -> member-set timeline (checked on the
+    # omniscient install archive; adoption may legitimately *skip* epochs,
+    # but never contradict one).
+    if getattr(collector, "view_conflicts", None):
+        node_id, epoch, a, b = collector.view_conflicts[0]
+        raise VerificationError(
+            f"uniform views violated: epoch {epoch} installed as "
+            f"{list(a)} somewhere and {list(b)} at node {node_id}")
+
     if cluster.consensuses:
         decisions = _gather_decisions(cluster)
         canonical = canonical_sequence(decisions)
@@ -194,6 +204,14 @@ def verify_run(cluster, good_nodes: Optional[List[int]] = None,
     if good_nodes is None:
         good_nodes = [node_id for node_id, node in cluster.nodes.items()
                       if node.up]
+        views = getattr(cluster, "views", None)
+        if views:
+            # View-parameterised cluster: only *members* of the final
+            # view are obliged to deliver everything — an evicted-but-up
+            # node stops receiving the order stream by design.
+            final_members = cluster.current_view().members
+            good_nodes = [node_id for node_id in good_nodes
+                          if node_id in final_members]
     must_deliver: Set[MessageId] = set()
     for mid, sent_at in collector.broadcast_times.items():
         sender_node = cluster.nodes.get(mid.sender)

@@ -1,0 +1,19 @@
+"""Epoch-numbered membership views and elastic reconfiguration.
+
+The paper assumes a fixed member set; this package removes that ceiling
+in the style of Vertical Atomic Broadcast: reconfiguration commands
+(``join``/``leave``/``evict``) travel through the Atomic Broadcast layer
+itself, so every process installs the same :class:`View` at the same
+agreed position of the delivery sequence, and a joining process is
+bootstrapped with the Section 5.3 state-transfer machinery.
+
+See docs/MEMBERSHIP.md for the lifecycle and the epoch-vs-incarnation
+semantics.
+"""
+
+from repro.membership.manager import ViewManager
+from repro.membership.view import (RECONFIG_OPS, View, parse_reconfig,
+                                   reconfig_payload)
+
+__all__ = ["RECONFIG_OPS", "View", "ViewManager", "parse_reconfig",
+           "reconfig_payload"]

@@ -36,6 +36,17 @@ class MetricsCollector:
         # disagreements observed (which verification turns into failures).
         self.decisions: Dict[int, Any] = {}
         self.decision_conflicts: List[Tuple[int, Any, Any]] = []
+        # Membership archive: every view install at every node, in
+        # observation order — (node, epoch, members, time, origin).
+        # ``views_by_epoch`` records the first member set seen per epoch;
+        # a node installing a *different* member set under the same epoch
+        # lands in ``view_conflicts`` (verification turns it into a
+        # failure: views must be uniform across the cluster).
+        self.view_installs: List[Tuple[int, int, Tuple[int, ...], float,
+                                       str]] = []
+        self.views_by_epoch: Dict[int, Tuple[int, ...]] = {}
+        self.view_conflicts: List[Tuple[int, int, Tuple[int, ...],
+                                        Tuple[int, ...]]] = []
 
     # -- recording hooks -----------------------------------------------------
 
@@ -80,6 +91,18 @@ class MetricsCollector:
             self.decisions[k] = value
         elif existing != value:
             self.decision_conflicts.append((k, existing, value))
+
+    def note_view_install(self, node_id: int, epoch: int,
+                          members: Tuple[int, ...], time: float,
+                          origin: str) -> None:
+        """Record one view install at one node (delivery or adoption)."""
+        members = tuple(members)
+        self.view_installs.append((node_id, epoch, members, time, origin))
+        existing = self.views_by_epoch.get(epoch)
+        if existing is None:
+            self.views_by_epoch[epoch] = members
+        elif existing != members:
+            self.view_conflicts.append((node_id, epoch, existing, members))
 
     # -- derived views ---------------------------------------------------------
 

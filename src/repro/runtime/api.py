@@ -84,7 +84,8 @@ class TransportMedium(Protocol):
 
     def send(self, src: int, dst: int, message: Any) -> None: ...
 
-    def multisend(self, src: int, message: Any) -> None: ...
+    def multisend(self, src: int, message: Any,
+                  targets: Optional[Tuple[int, ...]] = None) -> None: ...
 
 
 # Per-node stable storage injection: ``factory(node_id) -> StableStorage``.

@@ -162,11 +162,20 @@ class LiveNetwork:
             self.metrics.duplicated += 1
             self._transmit(src, dst, data)
 
-    def multisend(self, src: int, message: WireMessage) -> None:
+    def multisend(self, src: int, message: WireMessage,
+                  targets: Optional[Tuple[int, ...]] = None) -> None:
         """The paper's ``multisend`` macro: send to every process,
-        including the sender itself (Section 3.1, footnote 2)."""
-        for dst in self.nodes:
-            self.send(src, dst, message)
+        including the sender itself (Section 3.1, footnote 2).
+
+        ``targets`` restricts the send to a view's member set; ids with
+        no socket yet are skipped (their stack is still being built)."""
+        if targets is None:
+            for dst in self.nodes:
+                self.send(src, dst, message)
+            return
+        for dst in targets:
+            if dst in self.nodes:
+                self.send(src, dst, message)
 
     # -- internals ----------------------------------------------------------
 

@@ -60,6 +60,10 @@ class Endpoint(NodeComponent):
         super().__init__()
         self.network = network
         self._queues: dict = {}
+        # Optional membership oracle (a ViewManager): when set, peers()
+        # and multisend() are scoped to the installed view instead of
+        # every node the medium has ever seen.
+        self.view_source: Any = None
 
     # -- sending ----------------------------------------------------------
 
@@ -73,7 +77,12 @@ class Endpoint(NodeComponent):
         """Unreliable broadcast to all processes, including self."""
         if self.node is None or not self.node.up:
             raise ProcessDown("cannot multisend from a down node")
-        self.network.multisend(self.node.node_id, message)
+        if self.view_source is None:
+            self.network.multisend(self.node.node_id, message)
+        else:
+            self.network.multisend(
+                self.node.node_id, message,
+                self.view_source.multisend_targets(self.node.node_id))
 
     # -- receiving ---------------------------------------------------------
 
@@ -107,5 +116,14 @@ class Endpoint(NodeComponent):
         return self.node.node_id
 
     def peers(self) -> Tuple[int, ...]:
-        """All node ids on the network (including this node)."""
+        """The ids this node treats as the group.
+
+        Without a view source this is every node on the medium (the
+        paper's static member set); with one it is the installed view's
+        member set — quorum math, failure detection and gossip all flow
+        through here, so installing a view re-parameterises the whole
+        stack at once.
+        """
+        if self.view_source is not None:
+            return self.view_source.members()
         return self.network.node_ids()

@@ -169,11 +169,23 @@ class Network:
             self.sim.schedule(self._draw_delay(), self._deliver,
                               src, dst, message)
 
-    def multisend(self, src: int, message: WireMessage) -> None:
+    def multisend(self, src: int, message: WireMessage,
+                  targets: Optional[Tuple[int, ...]] = None) -> None:
         """The paper's ``multisend`` macro: send to every process,
-        including the sender itself (Section 3.1, footnote 2)."""
-        for dst in self.nodes:
-            self.send(src, dst, message)
+        including the sender itself (Section 3.1, footnote 2).
+
+        With ``targets`` (a membership view's member set) the send is
+        restricted to those destinations; unknown ids are skipped —
+        a view may momentarily name a node whose stack is still being
+        built.
+        """
+        if targets is None:
+            for dst in self.nodes:
+                self.send(src, dst, message)
+            return
+        for dst in targets:
+            if dst in self.nodes:
+                self.send(src, dst, message)
 
     # -- internals --------------------------------------------------------------------
 

@@ -51,6 +51,9 @@ class ScopedEndpoint:
             raise SimulationError("scope name must be non-empty")
         self.endpoint = endpoint
         self.scope = scope
+        # A scope's membership is fixed at construction; the dynamic
+        # view machinery never applies inside a group.
+        self.view_source: Any = None
         self.members: Tuple[int, ...] = tuple(sorted(set(members)))
         if endpoint.node_id not in self.members:
             raise SimulationError(

@@ -372,9 +372,12 @@ class StubbornChannel:
     def send(self, src: int, dst: int, message: WireMessage) -> None:
         self._links[src].send(dst, message)
 
-    def multisend(self, src: int, message: WireMessage) -> None:
+    def multisend(self, src: int, message: WireMessage,
+                  targets: Optional[Tuple[int, ...]] = None) -> None:
         """The paper's ``multisend`` macro, each leg made stubborn."""
-        for dst in self.inner.node_ids():
+        known = self.inner.node_ids()
+        for dst in (known if targets is None
+                    else (t for t in targets if t in known)):
             self.send(src, dst, message)
 
     # -- introspection -------------------------------------------------------

@@ -1,0 +1,98 @@
+"""Integration tests for elastic reconfiguration: the seeded churn
+scenario, view-timeline reproducibility and the chaos churn nemesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.controller import SimChaosController
+from repro.chaos.engine import ChaosConfig, explore
+from repro.chaos.events import ChaosEvent
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.membership.scenario import (check_churn_reproducibility,
+                                       run_churn_scenario)
+
+
+class TestChurnScenario:
+    def test_seeded_churn_run_verifies(self):
+        report = run_churn_scenario(seed=0)
+        # n=5 grew by two state-transfer joins, then shrank by two
+        # evictions (one while the victim was crashed) and a leave.
+        assert report.final_view.epoch == 5
+        assert report.final_view.members == (0, 1, 5, 6)
+        assert report.joiners == [5, 6]
+        assert report.transfers_adopted >= 2
+        # Uniform total order held across every epoch.
+        assert report.verification is not None
+
+    def test_joiners_bootstrap_by_state_transfer(self):
+        report = run_churn_scenario(seed=2)
+        for joiner in report.joiners:
+            assert joiner in report.final_view.members
+
+    def test_view_timeline_reproducible(self):
+        # Same seed, two full runs: the (node, epoch, members, origin)
+        # install sequence must be bit-identical.
+        check_churn_reproducibility(seed=0)
+
+    def test_view_installs_monotone_per_node(self):
+        report = run_churn_scenario(seed=1)
+        last: dict = {}
+        for install in report.view_installs:
+            node_id, epoch = install[0], install[1]
+            assert epoch > last.get(node_id, -1)
+            last[node_id] = epoch
+
+
+class TestChurnNemesis:
+    def test_small_churn_sweep_verifies(self):
+        config = ChaosConfig(seeds=3, churn=True, master_seed=7)
+        report = explore(config)
+        assert report.ok, [f.error for f in report.failures]
+
+    def test_churn_absent_from_default_sweep(self):
+        config = ChaosConfig(seeds=1)
+        assert all(nemesis.name != "churn" for nemesis in config.nemeses)
+
+    def test_churn_flag_appends_nemesis(self):
+        config = ChaosConfig(seeds=1, churn=True)
+        assert any(nemesis.name == "churn" for nemesis in config.nemeses)
+
+
+class TestChurnControllerGuards:
+    def _controller(self, n=3):
+        cluster = Cluster(ClusterConfig(n=n, seed=0,
+                                        protocol="alternative"))
+        cluster.start()
+        cluster.sim.run(until=1.0)
+        return SimChaosController(cluster, base_loss=0.0)
+
+    def test_join_of_existing_node_skipped(self):
+        controller = self._controller()
+        controller.apply(ChaosEvent(1.0, "join", node=2))
+        assert controller.applied == []
+
+    def test_removal_below_two_members_skipped(self):
+        controller = self._controller(n=2)
+        controller.apply(ChaosEvent(1.0, "leave", node=1))
+        assert controller.applied == []
+        assert controller.cluster.current_view().members == (0, 1)
+
+    def test_removal_of_non_member_skipped(self):
+        controller = self._controller()
+        controller.apply(ChaosEvent(1.0, "evict", node=9))
+        assert controller.applied == []
+
+    def test_evict_crashes_running_victim(self):
+        controller = self._controller()
+        controller.apply(ChaosEvent(1.0, "evict", node=2))
+        assert not controller.cluster.nodes[2].up
+        kinds = [event.kind for event in controller.applied]
+        assert kinds == ["evict", "crash"]
+
+    def test_leave_keeps_victim_running(self):
+        controller = self._controller()
+        controller.apply(ChaosEvent(1.0, "leave", node=2))
+        assert controller.cluster.nodes[2].up
+        controller.cluster.sim.run(until=5.0)
+        assert controller.cluster.current_view().members == (0, 1)

@@ -157,3 +157,70 @@ class TestReportFormatting:
         assert "note: n" in lines[-1]
         header, rule, row1, row2 = lines[1:5]
         assert len(row1) == len(row2) == len(header)
+
+
+class TestStackSettledEdgeCases:
+    def _cluster(self, protocol="basic", n=3):
+        cluster = Cluster(ClusterConfig(n=n, seed=0, protocol=protocol))
+        cluster.start()
+        cluster.run(until=1.0)
+        return cluster
+
+    def test_sender_crash_before_dissemination_settles(self):
+        # The message dies with its sender's volatile Unordered set: no
+        # up node holds it, so nothing blocks settling even though the
+        # broadcast count exceeds the delivery count.
+        cluster = self._cluster()
+        cluster.submit(2, "doomed")
+        cluster.crash(2)  # before any gossip interval elapses
+        assert cluster.settle(limit=30.0)
+        assert len(cluster.collector.first_delivery) == 0
+
+    def test_disseminated_backlog_blocks_until_ordered(self):
+        # Control for the test above: once another node holds the
+        # message, settling must wait for it to be ordered everywhere.
+        cluster = self._cluster()
+        cluster.submit(2, "survives")
+        cluster.run(until=2.0)  # gossip spreads the Unordered set
+        cluster.crash(2)
+        assert cluster.settle(limit=60.0)
+        assert len(cluster.collector.first_delivery) == 1
+
+    def test_node_recovering_mid_settle_catches_up(self):
+        # With two of three nodes down there is no quorum, so the
+        # survivor cannot order anything and settle must keep looping.
+        # A recovery scheduled mid-settle restores the majority; settle
+        # may only report success once the recovered node delivered too.
+        cluster = self._cluster(protocol="alternative")
+        cluster.crash(1)
+        cluster.crash(2)
+        for i in range(3):
+            cluster.submit(0, f"m{i}")
+        cluster.run(until=4.0)
+        assert len(cluster.collector.first_delivery) == 0  # no quorum
+        cluster.sim.schedule(6.0, cluster.recover, 1)
+        assert cluster.settle(limit=120.0)
+        assert cluster.sim.now > 6.0  # recovery happened inside settle
+        assert cluster.abcasts[1].delivered_count() == \
+            len(cluster.collector.first_delivery) == 3
+
+    def test_evicted_node_backlog_does_not_block_settling(self):
+        # An evicted node never learns its backlog was ordered (members
+        # stop sending it decisions), so settling grants non-members the
+        # already-ordered leniency instead of waiting forever.
+        cluster = self._cluster(protocol="alternative")
+        cluster.submit(2, "from-the-doomed")
+        cluster.submit_reconfig("evict", 2)
+        assert cluster.settle(limit=60.0)
+        assert cluster.current_view().members == (0, 1)
+        assert cluster.nodes[2].up
+        assert cluster.abcasts[2].has_backlog()  # stranded but ordered
+        assert not cluster.abcasts[2].has_backlog(
+            ordered=cluster.collector.first_delivery)
+
+    def test_down_node_never_blocks_settling(self):
+        cluster = self._cluster()
+        cluster.submit(0, "only-for-the-living")
+        cluster.crash(2)
+        assert cluster.settle(limit=30.0)
+        assert cluster.abcasts[0].delivered_count() == 1
