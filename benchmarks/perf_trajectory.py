@@ -25,7 +25,7 @@ import sys
 
 from repro.perf.harness import (compare_determinism,
                                 measure_storage_comparison, run_matrix)
-from repro.perf.matrix import default_matrix, smallest_cell
+from repro.perf.matrix import default_matrix, overload_cell, smallest_cell
 from repro.perf.trajectory import (baseline_determinism, build_document,
                                    format_comparison_table,
                                    format_matrix_table,
@@ -53,6 +53,10 @@ def main(argv=None) -> int:
                              "against; exit 1 on drift")
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the storage before/after comparison")
+    parser.add_argument("--overload", action="store_true",
+                        help="append the admission-control cell to the "
+                             "run (its flow_* metrics exist only there; "
+                             "the 16 legacy cells are unaffected)")
     parser.add_argument("--trajectory", default=None, metavar="CELL",
                         help="print CELL's metrics across all committed "
                              "BENCH_*.json files and exit")
@@ -72,6 +76,8 @@ def main(argv=None) -> int:
             if missing:
                 parser.error(f"unknown cells: {sorted(missing)} "
                              f"(known: {[c.name for c in default_matrix()]})")
+    if args.overload:
+        cells = cells + [overload_cell()]
 
     print(f"running {len(cells)} cell(s), {args.repeat} repetition(s)...")
     results = run_matrix(cells)

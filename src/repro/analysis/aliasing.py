@@ -44,7 +44,7 @@ __all__ = ["ALIASING_RULES", "CrossNodeMutableEscapeRule",
 _ALIAS_SCOPE = ("repro.core", "repro.consensus", "repro.quorum",
                 "repro.multigroup", "repro.fdetect", "repro.apps",
                 "repro.baselines", "repro.harness", "repro.transport",
-                "repro.membership")
+                "repro.membership", "repro.flow")
 
 _SEND_OPS = frozenset({"send", "multisend"})
 _SEND_RECEIVERS = ("endpoint", "network", "transport")

@@ -45,7 +45,8 @@ __all__ = ["ATOMICITY_RULES", "AwaitHoldingBarrierRule",
 
 _CONCURRENT_SCOPE = ("repro.core", "repro.consensus", "repro.quorum",
                      "repro.multigroup", "repro.fdetect", "repro.apps",
-                     "repro.baselines", "repro.transport", "repro.membership")
+                     "repro.baselines", "repro.transport", "repro.membership",
+                     "repro.flow")
 
 #: Methods that mutate a builtin container in place.
 _MUTATORS = frozenset({

@@ -37,7 +37,7 @@ __all__ = ["DETERMINISM_RULES"]
 #: (``repro.runtime.sim``, primitives, node, rng) stays patrolled.
 DETERMINISTIC_SCOPE: Tuple[str, ...] = (
     "repro.runtime", "repro.sim", "repro.core", "repro.consensus",
-    "repro.transport", "repro.membership")
+    "repro.transport", "repro.membership", "repro.flow")
 
 #: The live runtime legitimately uses the wall clock and real sockets;
 #: the trailing ``*`` globs both ``repro.runtime.live`` and

@@ -49,7 +49,7 @@ __all__ = ["IDEMPOTENCE_RULES", "NonIdempotentRecoveryRule"]
 
 _PROTOCOL_SCOPE = ("repro.core", "repro.consensus", "repro.quorum",
                    "repro.multigroup", "repro.fdetect", "repro.apps",
-                   "repro.baselines", "repro.membership")
+                   "repro.baselines", "repro.membership", "repro.flow")
 
 _GUARD_OPS = frozenset({"retrieve", "retrieve_list", "contains", "keys",
                         "delete", "delete_prefix"})

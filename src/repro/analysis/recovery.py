@@ -50,7 +50,7 @@ _ANY = "*"
 
 _PROTOCOL_SCOPE = ("repro.core", "repro.consensus", "repro.quorum",
                    "repro.multigroup", "repro.fdetect", "repro.apps",
-                   "repro.baselines", "repro.membership")
+                   "repro.baselines", "repro.membership", "repro.flow")
 
 
 def _attr_path(node: ast.AST) -> Tuple[str, ...]:

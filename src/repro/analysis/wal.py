@@ -665,7 +665,7 @@ class DirectTransportSendRule(Rule):
                  "explain.")
     scope = ("repro.core", "repro.consensus", "repro.quorum",
              "repro.multigroup", "repro.fdetect", "repro.apps",
-             "repro.baselines", "repro.membership")
+             "repro.baselines", "repro.membership", "repro.flow")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -31,8 +31,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.chaos.events import ChaosEvent
 from repro.chaos.inject import cut_off
-from repro.errors import SimulationError
-from repro.harness.verify import VerificationReport, verify_run
+from repro.errors import OverloadError, SimulationError
+from repro.harness.verify import (VerificationReport,
+                                  verify_overload_safety, verify_run)
 from repro.storage.faulty import FaultyStorage, InjectedCrashFault
 
 __all__ = ["LiveChaosController", "SimChaosController"]
@@ -48,6 +49,12 @@ class _BaseController:
         # crashes, submit redirections): the reproducible ground truth.
         self.applied: List[ChaosEvent] = []
         self.fault_counts: Dict[str, int] = {}
+        # Overload accounting: every submission the timeline offered and
+        # how many the cluster's admission control turned away.  The
+        # overload-safety invariant `accepted + rejected == offered`
+        # checks against these.
+        self.submissions_offered = 0
+        self.submissions_rejected = 0
         self._heap: List[Tuple[float, int, ChaosEvent]] = []
         self._serial = 0
 
@@ -95,7 +102,18 @@ class _BaseController:
             if not up:
                 return  # whole cluster down: the submission never happens
             target = min(up)
-        self.cluster.submit(target, event.args["payload"])
+        self.submissions_offered += 1
+        try:
+            self.cluster.submit(target, event.args["payload"])
+        except OverloadError as busy:
+            # The busy signal is part of the contract under saturation:
+            # the rejection is counted, never silently lost.
+            self.submissions_rejected += 1
+            self.record(ChaosEvent(self.now, "submit", node=target,
+                                   payload=event.args["payload"],
+                                   rejected=busy.reason),
+                        count_as="overload_reject")
+            return
         self.record(ChaosEvent(self.now, "submit", node=target,
                                payload=event.args["payload"]))
 
@@ -114,7 +132,13 @@ class _BaseController:
             return  # id already built (e.g. replanned join): nothing to do
         if not self._member_up():
             return  # nobody to order the join command right now
-        self.cluster.add_node(event.node)
+        try:
+            self.cluster.add_node(event.node)
+        except OverloadError:
+            # Admission control turned the join command away (combined
+            # overload + churn run): the reconfiguration simply does not
+            # happen this time — same outcome as no member being up.
+            return
         self.record(event)
 
     def _apply_leave(self, event: ChaosEvent) -> None:
@@ -131,8 +155,11 @@ class _BaseController:
             return  # keep the view able to form meaningful quorums
         if not self._member_up():
             return
-        self.cluster.submit_reconfig("evict" if evict else "leave",
-                                     event.node)
+        try:
+            self.cluster.submit_reconfig("evict" if evict else "leave",
+                                         event.node)
+        except OverloadError:
+            return  # rejected command: the removal does not happen
         self.record(event)
         if evict and event.node in self.cluster.nodes \
                 and self.cluster.nodes[event.node].up:
@@ -227,14 +254,43 @@ class SimChaosController(_BaseController):
         self._disk_downtimes[event.node] = event.args.get("downtime", 1.0)
         self.record(event)
 
+    # -- gray failures ---------------------------------------------------------
+
+    def _apply_slow_disk(self, event: ChaosEvent) -> None:
+        node = self.cluster.nodes[event.node]
+        storage = node.storage
+        if not isinstance(storage, FaultyStorage):
+            return  # scenario built without fault-injection storage
+        storage.set_latency(event.args["low"], event.args["high"])
+        # Each drawn write stall freezes the victim's whole process:
+        # slow-but-alive, exactly the gray-failure envelope.
+        storage.on_stall = node.stall
+        self.record(event)
+
+    def _apply_slow_disk_restore(self, event: ChaosEvent) -> None:
+        storage = self.cluster.nodes[event.node].storage
+        if not isinstance(storage, FaultyStorage):
+            return
+        storage.clear_latency()
+        self.record(event)
+
+    def _apply_limp(self, event: ChaosEvent) -> None:
+        self.cluster.network.set_node_delay(event.node, event.args["extra"])
+        self.record(event)
+
+    def _apply_limp_restore(self, event: ChaosEvent) -> None:
+        self.cluster.network.clear_node_delay(event.node)
+        self.record(event)
+
     # -- finish ---------------------------------------------------------------
 
     def finish(self, settle_limit: float) -> VerificationReport:
         """Restore a fair world, settle, verify."""
         for node in self.cluster.nodes.values():
             if isinstance(node.storage, FaultyStorage):
-                node.storage.disarm()
+                node.storage.disarm()  # also heals a limping disk
         self.cluster.network.heal_all()
+        self.cluster.network.clear_node_delays()
         self.cluster.network.config.loss_rate = self.base_loss
         self.advance(self.now + 0.5)  # drain armed faults' last writes
         for node in self.cluster.nodes.values():
@@ -245,7 +301,12 @@ class SimChaosController(_BaseController):
             raise SimulationError(
                 f"cluster failed to settle within {settle_limit} after "
                 f"the chaos timeline (termination suspect)")
-        return verify_run(self.cluster)
+        report = verify_run(self.cluster)
+        if getattr(self.cluster, "flows", None):
+            # Overload runs additionally assert the flow-control
+            # contract: exact rejection accounting, bounded queues.
+            verify_overload_safety(self.cluster, report)
+        return report
 
 
 class LiveChaosController(_BaseController):

@@ -24,8 +24,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.chaos.controller import LiveChaosController, SimChaosController
 from repro.chaos.events import ChaosEvent, format_timeline
 from repro.chaos.nemesis import MembershipChurnNemesis, Nemesis, \
-    default_nemeses
+    default_nemeses, overload_nemeses
 from repro.errors import ReproError
+from repro.flow.controller import FlowConfig
 from repro.harness.cluster import Cluster, ClusterConfig
 from repro.storage.faulty import FaultyStorage
 from repro.storage.memory import MemoryStorage
@@ -50,7 +51,8 @@ class ChaosConfig:
                  submissions: Tuple[int, int] = (6, 12),
                  settle_limit: float = 300.0,
                  nemeses: Optional[Sequence[Nemesis]] = None,
-                 churn: bool = False):
+                 churn: bool = False,
+                 overload: bool = False):
         if runtime not in ("sim", "live"):
             raise ReproError(f"unknown chaos runtime {runtime!r}")
         self.seeds = seeds
@@ -73,6 +75,12 @@ class ChaosConfig:
             self.nemeses.extend(
                 nemesis for nemesis in [MembershipChurnNemesis()]
                 if runtime in nemesis.runtimes)
+        # Overload/gray-failure battery is opt-in for the same reason as
+        # churn: appending nemeses (and drawing flow parameters) defines
+        # a different scenario family; legacy seeds stay bit-identical.
+        self.overload = overload
+        if overload:
+            self.nemeses.extend(overload_nemeses(runtime))
 
 
 class SeedResult:
@@ -136,6 +144,13 @@ def _derive_params(config: ChaosConfig, rng: random.Random) -> Dict[str, Any]:
         "stubborn": rng.choice(config.stubborn_choices),
         "cluster_seed": rng.randrange(2 ** 31),
     }
+    if config.overload:
+        # Flow parameters are drawn only in the overload family, after
+        # the legacy draws, so the base family's derivations are
+        # untouched seed for seed.
+        params["flow_rate"] = rng.choice((4.0, 8.0, 16.0))
+        params["flow_burst"] = rng.choice((4, 8))
+        params["max_unordered"] = rng.choice((16, 32))
     return params
 
 
@@ -175,6 +190,15 @@ def plan_scenario(config: ChaosConfig,
     return params, nemeses, events
 
 
+def _flow_config(params: Dict[str, Any]) -> Optional[FlowConfig]:
+    """The scenario's admission control, when the overload family drew one."""
+    if "flow_rate" not in params:
+        return None
+    return FlowConfig(rate=params["flow_rate"],
+                      burst=params["flow_burst"],
+                      max_unordered=params["max_unordered"])
+
+
 def _build_sim(config: ChaosConfig, params: Dict[str, Any]) -> Tuple[
         Any, SimChaosController]:
     disk_seed_base = params["cluster_seed"]
@@ -191,7 +215,8 @@ def _build_sim(config: ChaosConfig, params: Dict[str, Any]) -> Tuple[
         protocol=params["protocol"],
         network=NetworkConfig(loss_rate=params["base_loss"]),
         stubborn=params["stubborn"],
-        storage_factory=faulty_factory))
+        storage_factory=faulty_factory,
+        flow=_flow_config(params)))
     return cluster, SimChaosController(cluster, params["base_loss"])
 
 
@@ -203,7 +228,8 @@ def _build_live(config: ChaosConfig, params: Dict[str, Any],
         seed=params["cluster_seed"],
         protocol=params["protocol"],
         network=NetworkConfig(loss_rate=params["base_loss"]),
-        stubborn=params["stubborn"]), directory)
+        stubborn=params["stubborn"],
+        flow=_flow_config(params)), directory)
     return cluster, LiveChaosController(cluster, params["base_loss"])
 
 
@@ -225,6 +251,16 @@ def _collect_counters(cluster: Any,
     if stubborn is not None:
         counters["retransmissions"] = stubborn.metrics.retransmissions
         counters["acks"] = stubborn.metrics.acks_received
+        # Overflows exist only once a backlog bound trips; adding the key
+        # conditionally keeps legacy counter dicts byte-identical.
+        if stubborn.metrics.backlog_overflows:
+            counters["backlog_overflows"] = stubborn.metrics.backlog_overflows
+    flows = getattr(cluster, "flows", None)
+    if flows:
+        counters["flow_accepted"] = sum(
+            controller.accepted for controller in flows.values())
+        counters["flow_rejected"] = sum(
+            controller.rejected for controller in flows.values())
     counters["delivered"] = len(cluster.collector.first_delivery)
     return counters
 

@@ -22,10 +22,15 @@ __all__ = ["ChaosEvent", "format_timeline", "KINDS"]
 # the chosen one is down); ``join``/``leave``/``evict`` reconfigure the
 # membership through ordered commands (``join`` also builds and starts
 # the new node's stack; ``evict`` additionally crashes a running
-# victim — eviction models expelling a faulty process).
+# victim — eviction models expelling a faulty process).  Gray failures:
+# ``slow_disk`` gives a victim's FaultyStorage a per-write latency draw
+# (``slow_disk_restore`` heals it); ``limp`` adds constant delay to
+# every message touching a slow-but-alive victim (``limp_restore``
+# heals it).
 KINDS = ("crash", "recover", "partition", "heal_all", "loss",
          "loss_restore", "torn_write", "clock_jump", "submit",
-         "join", "leave", "evict")
+         "join", "leave", "evict",
+         "slow_disk", "slow_disk_restore", "limp", "limp_restore")
 
 
 class ChaosEvent:

@@ -25,8 +25,10 @@ from typing import List, Sequence, Tuple
 from repro.chaos.events import ChaosEvent
 
 __all__ = ["ClockJumpNemesis", "CrashStormNemesis", "DiskFaultNemesis",
-           "LossBurstNemesis", "MembershipChurnNemesis", "Nemesis",
-           "PartitionNemesis", "default_nemeses"]
+           "LimpingNodeNemesis", "LossBurstNemesis",
+           "MembershipChurnNemesis", "Nemesis", "PartitionNemesis",
+           "SaturationNemesis", "SlowDiskNemesis", "default_nemeses",
+           "overload_nemeses"]
 
 
 class Nemesis:
@@ -240,6 +242,121 @@ class MembershipChurnNemesis(Nemesis):
         return events
 
 
+class SaturationNemesis(Nemesis):
+    """Open-loop offered load beyond capacity (gray failure: overload).
+
+    Plans dense bursts of ``submit`` events — the client does *not* wait
+    for deliveries, so with admission control enabled the excess is
+    rejected and counted, and without it the volatile buffers absorb the
+    spike.  Payloads are tagged ``sat-`` so overload traffic is
+    distinguishable from the scenario's steady workload.
+
+    **Opt-in by design** (like membership churn): never part of
+    :func:`default_nemeses`, because inserting it would shift every
+    planning draw of every existing chaos seed.  Enable it via
+    ``ChaosConfig(overload=True)`` or an explicit ``nemeses`` list.
+    """
+
+    name = "saturation"
+
+    def __init__(self, bursts: Tuple[int, int] = (1, 2),
+                 size: Tuple[int, int] = (30, 80),
+                 spread: Tuple[float, float] = (0.2, 0.8)):
+        self.bursts = bursts
+        self.size = size
+        self.spread = spread
+
+    def plan(self, rng: random.Random, node_ids: Sequence[int],
+             horizon: float) -> List[ChaosEvent]:
+        events: List[ChaosEvent] = []
+        serial = 0
+        for _ in range(rng.randint(*self.bursts)):
+            start = rng.uniform(0.1 * horizon, 0.6 * horizon)
+            spread = rng.uniform(*self.spread)
+            target = rng.choice(list(node_ids))
+            for _ in range(rng.randint(*self.size)):
+                events.append(ChaosEvent(
+                    start + rng.uniform(0.0, spread), "submit",
+                    node=target, payload=f"sat-{target}-{serial}"))
+                serial += 1
+        return events
+
+
+class SlowDiskNemesis(Nemesis):
+    """A limping disk: seeded per-write latency on one victim's storage.
+
+    Applying ``slow_disk`` calls ``FaultyStorage.set_latency``; every
+    subsequent ``log`` succeeds but stalls the victim's whole process
+    for the drawn duration (``Node.stall`` defers its inbound messages),
+    modelling a single-threaded server blocked in fsync.  The disk heals
+    at ``slow_disk_restore``.  Sim only, like the other disk faults.
+
+    **Opt-in by design** — see :class:`SaturationNemesis`.
+    """
+
+    name = "slow_disk"
+    runtimes = ("sim",)
+
+    def __init__(self, episodes: Tuple[int, int] = (1, 2),
+                 latency: Tuple[float, float] = (0.05, 0.4),
+                 duration: Tuple[float, float] = (1.0, 3.0)):
+        self.episodes = episodes
+        self.latency = latency
+        self.duration = duration
+
+    def plan(self, rng: random.Random, node_ids: Sequence[int],
+             horizon: float) -> List[ChaosEvent]:
+        events: List[ChaosEvent] = []
+        for _ in range(rng.randint(*self.episodes)):
+            start = rng.uniform(0.1 * horizon, 0.6 * horizon)
+            victim = rng.choice(list(node_ids))
+            low = round(rng.uniform(*self.latency), 3)
+            high = round(low + rng.uniform(0.0, self.latency[1]), 3)
+            events.append(ChaosEvent(start, "slow_disk", node=victim,
+                                     low=low, high=high))
+            events.append(ChaosEvent(
+                start + rng.uniform(*self.duration), "slow_disk_restore",
+                node=victim))
+        return events
+
+
+class LimpingNodeNemesis(Nemesis):
+    """A slow-but-alive peer: constant extra delay on its every message.
+
+    The victim keeps participating — late.  Its delayed heartbeats
+    stress the failure detector's adaptive timeouts (suspect, refute,
+    widen) and its delayed acks back up senders' stubborn windows.
+    Heals at ``limp_restore``.  Sim only: the delay is injected in the
+    simulated network's delay draw.
+
+    **Opt-in by design** — see :class:`SaturationNemesis`.
+    """
+
+    name = "limp"
+    runtimes = ("sim",)
+
+    def __init__(self, episodes: Tuple[int, int] = (1, 2),
+                 extra: Tuple[float, float] = (0.5, 2.5),
+                 duration: Tuple[float, float] = (1.0, 3.0)):
+        self.episodes = episodes
+        self.extra = extra
+        self.duration = duration
+
+    def plan(self, rng: random.Random, node_ids: Sequence[int],
+             horizon: float) -> List[ChaosEvent]:
+        events: List[ChaosEvent] = []
+        for _ in range(rng.randint(*self.episodes)):
+            start = rng.uniform(0.1 * horizon, 0.6 * horizon)
+            victim = rng.choice(list(node_ids))
+            events.append(ChaosEvent(
+                start, "limp", node=victim,
+                extra=round(rng.uniform(*self.extra), 3)))
+            events.append(ChaosEvent(
+                start + rng.uniform(*self.duration), "limp_restore",
+                node=victim))
+        return events
+
+
 def default_nemeses(runtime: str) -> List[Nemesis]:
     """The standard battery applicable to one runtime.
 
@@ -250,4 +367,17 @@ def default_nemeses(runtime: str) -> List[Nemesis]:
     battery: List[Nemesis] = [CrashStormNemesis(), PartitionNemesis(),
                               LossBurstNemesis(), DiskFaultNemesis(),
                               ClockJumpNemesis()]
+    return [nemesis for nemesis in battery if runtime in nemesis.runtimes]
+
+
+def overload_nemeses(runtime: str) -> List[Nemesis]:
+    """The opt-in gray-failure battery (overload + slow disk + limp).
+
+    Appended *after* the default battery when enabled
+    (``ChaosConfig(overload=True)``), so the default scenario family's
+    draw order — and therefore every legacy seed's timeline — is only
+    extended, never reshuffled.
+    """
+    battery: List[Nemesis] = [SaturationNemesis(), SlowDiskNemesis(),
+                              LimpingNodeNemesis()]
     return [nemesis for nemesis in battery if runtime in nemesis.runtimes]

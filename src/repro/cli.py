@@ -106,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "leaves and evictions composed with the "
                             "fault scenarios); a different scenario "
                             "family from the default sweep")
+    chaos.add_argument("--overload", action="store_true",
+                       help="add the overload/gray-failure battery "
+                            "(saturation bursts, slow disks, limping "
+                            "nodes) with per-node admission control; a "
+                            "different scenario family from the default "
+                            "sweep")
 
     churn = commands.add_parser(
         "churn", help="seeded elastic-reconfiguration scenario: grow by "
@@ -119,6 +125,19 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--check-reproducibility", action="store_true",
                        help="run the sim scenario twice and require a "
                             "bit-identical view-install timeline")
+
+    overload = commands.add_parser(
+        "overload", help="seeded saturation scenario: a >10x overload "
+                         "burst against admission control while one "
+                         "node's disk limps, with exact accounting of "
+                         "every accepted/rejected broadcast and bounded "
+                         "queues verified end to end")
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument("--settle-limit", type=float, default=300.0,
+                          help="virtual-time settle budget")
+    overload.add_argument("--check-reproducibility", action="store_true",
+                          help="run the scenario twice and require "
+                               "bit-identical overload signatures")
 
     lint = commands.add_parser(
         "lint", help="protocol-aware static analysis (determinism, "
@@ -299,7 +318,8 @@ def _chaos(args) -> int:
     from repro.chaos.engine import ChaosConfig, explore, reproduce
     config = ChaosConfig(seeds=args.seeds, runtime=args.runtime,
                          master_seed=args.master_seed,
-                         horizon=args.horizon, churn=args.churn)
+                         horizon=args.horizon, churn=args.churn,
+                         overload=args.overload)
     if args.runtime == "live":
         # Real seconds per scenario: keep the per-seed cost bounded.
         config.settle_limit = 30.0
@@ -313,10 +333,13 @@ def _chaos(args) -> int:
                        for key, value in sorted(report.totals().items()))
     print(f"\n{len(report.results)} seeds, "
           f"{len(report.failures)} failures  ({totals})")
+    family = ("--churn " if args.churn else "") + \
+        ("--overload " if args.overload else "")
     for failure in report.failures:
         print(f"  reproduce with: repro chaos --runtime {args.runtime} "
               f"--master-seed {args.master_seed} "
-              f"--horizon {args.horizon} --reproduce {failure.seed}")
+              f"--horizon {args.horizon} {family}"
+              f"--reproduce {failure.seed}")
     return 0 if report.ok else 1
 
 
@@ -333,6 +356,21 @@ def _churn(args) -> int:
         return 0
     report = run_churn_scenario(seed=args.seed, runtime=args.runtime,
                                 settle_limit=args.settle_limit)
+    print(report.describe())
+    return 0
+
+
+def _overload(args) -> int:
+    from repro.flow.scenario import (check_overload_reproducibility,
+                                     run_saturation_scenario)
+    if args.check_reproducibility:
+        report = check_overload_reproducibility(
+            seed=args.seed, settle_limit=args.settle_limit)
+        print(report.describe())
+        print("\noverload signature bit-identical across re-runs: yes")
+        return 0
+    report = run_saturation_scenario(seed=args.seed,
+                                     settle_limit=args.settle_limit)
     print(report.describe())
     return 0
 
@@ -394,6 +432,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _chaos(args)
         if args.command == "churn":
             return _churn(args)
+        if args.command == "overload":
+            return _overload(args)
         if args.command == "compare":
             return _compare(args)
         if args.command == "lint":

@@ -30,7 +30,7 @@ from repro.consensus.base import ConsensusService
 from repro.core.agreed import AgreedQueue, deterministic_order
 from repro.core.ids import MessageId
 from repro.core.messages import AppMessage, GossipMessage
-from repro.errors import BroadcastError
+from repro.errors import BroadcastError, OverloadError
 from repro.runtime import NodeComponent, Signal
 from repro.transport.endpoint import Endpoint
 
@@ -115,6 +115,14 @@ class BasicAtomicBroadcast(NodeComponent):
         self.rounds_completed = 0
         self.messages_delivered = 0
         self.replayed_rounds = 0
+        # Optional admission control (a repro.flow.FlowController); wired
+        # by the harness.  None (the default) admits everything — the
+        # flow layer must be invisible unless explicitly configured.
+        self.flow = None
+        # Cumulative high-water mark of the Unordered buffer.  Survives
+        # crashes deliberately: it observes the incarnation-spanning
+        # worst case for the overload-safety verifier.
+        self.unordered_high_water = 0
 
     # -- lifecycle (upon initialization or recovery) -------------------------------
 
@@ -188,6 +196,15 @@ class BasicAtomicBroadcast(NodeComponent):
         assert self.node is not None
         if not self.node.up:
             raise BroadcastError("A-broadcast on a down process")
+        if self.flow is not None:
+            # Gate before the sequence bump: a rejected submission must
+            # leave no trace (no id consumed, no buffer entry).
+            reason = self.flow.try_admit(self.node.sim.now,
+                                         len(self.unordered))
+            if reason is not None:
+                raise OverloadError(
+                    f"A-broadcast rejected on node {self.node.node_id} "
+                    f"({reason})", reason=reason)
         self._seq += 1
         message = AppMessage(
             MessageId(self.node.node_id, self.incarnation, self._seq),
@@ -199,6 +216,8 @@ class BasicAtomicBroadcast(NodeComponent):
         """``Unordered ← (Unordered ∪ {m}) − Agreed``."""
         if message not in self.agreed and message.id not in self.unordered:
             self.unordered[message.id] = message
+            if len(self.unordered) > self.unordered_high_water:
+                self.unordered_high_water = len(self.unordered)
             self._progress.notify()
 
     def broadcast(self, payload: Any) -> Generator[Any, Any, AppMessage]:

@@ -48,6 +48,20 @@ class BroadcastError(ReproError):
     """Raised for misuse of the Atomic Broadcast API."""
 
 
+class OverloadError(BroadcastError):
+    """Raised when admission control rejects a broadcast (busy signal).
+
+    Retryable by contract: the submission was *not* accepted, no sequence
+    number was consumed, and the caller may retry after backing off.
+    ``reason`` names the exhausted resource (``"rate"``, ``"credit"``, ...)
+    so rejections can be accounted per cause.
+    """
+
+    def __init__(self, message: str, reason: str = "rate") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class VerificationError(ReproError):
     """Raised by the harness when a run violates an Atomic Broadcast property."""
 

@@ -1,0 +1,27 @@
+"""Flow control: deterministic admission, bounded queues, backpressure.
+
+The paper's protocols assume unbounded volatile buffers; this package
+supplies the production-side envelope around them.  A per-node
+:class:`FlowController` gates ``to_broadcast()`` with a seeded,
+deterministic token bucket plus credit accounting and raises a retryable
+:class:`repro.errors.OverloadError` when the node is saturated.
+:class:`BackoffPolicy` gives workload clients a seeded jittered
+exponential retry schedule.
+
+Everything here is default-off: with :class:`FlowConfig` at its defaults
+the controller admits every submission, draws no randomness from shared
+streams, and leaves every existing seed universe bit-identical (the same
+inertness discipline as the epoch gate in ``repro.membership``).
+"""
+
+from repro.flow.controller import BackoffPolicy, FlowConfig, FlowController
+
+# The canned saturation scenario lives in repro.flow.scenario; it is not
+# re-exported here because it imports the harness, which itself imports
+# this package (the controller must stay import-light).
+
+__all__ = [
+    "BackoffPolicy",
+    "FlowConfig",
+    "FlowController",
+]

@@ -1,0 +1,201 @@
+"""Deterministic per-node admission control and retry backoff.
+
+The :class:`FlowController` implements a token bucket refilled from the
+runtime's virtual clock plus a credit bound on outstanding volatile
+work.  It draws **no** randomness: admission is a pure function of the
+submission times and the configured rate, so enabling it never perturbs
+the shared seeded streams, and leaving :class:`FlowConfig` at its
+defaults makes every check a no-op (the default-off discipline that
+keeps existing seed universes bit-identical).
+
+:class:`BackoffPolicy` is the client side of the busy signal: a jittered
+exponential schedule whose jitter comes from a caller-supplied seeded
+``random.Random``, so retry timing is replayable too.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+
+class FlowConfig:
+    """Admission and bound settings for one node's flow controller.
+
+    Every field defaults to ``None`` (= unlimited / disabled); a config
+    with all defaults is inert and admits everything.
+
+    - ``rate`` / ``burst``: token-bucket admission on ``to_broadcast()``
+      (tokens per second of virtual time; ``burst`` caps the bucket and
+      defaults to ``max(1, rate)``).
+    - ``max_unordered``: credit bound on the caller-reported count of
+      outstanding volatile entries (the protocol's Unordered buffer, or
+      the multigroup pending table) at admission time.
+    - ``queue_bound``: declared bound for protocol buffer high-water
+      marks, asserted by ``verify_overload_safety`` — an observability
+      contract, not an admission input.
+    - ``max_send_buffer``: byte bound for the live UDP send queue.
+    - ``backoff``: the :class:`BackoffPolicy` clients should use when
+      retrying a rejected submission.
+    """
+
+    __slots__ = ("rate", "burst", "max_unordered", "queue_bound",
+                 "max_send_buffer", "backoff")
+
+    def __init__(self, rate: Optional[float] = None,
+                 burst: Optional[float] = None,
+                 max_unordered: Optional[int] = None,
+                 queue_bound: Optional[int] = None,
+                 max_send_buffer: Optional[int] = None,
+                 backoff: Optional["BackoffPolicy"] = None) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst is not None:
+            if rate is None:
+                raise ValueError("burst requires rate")
+            if burst < 1:
+                raise ValueError("burst must be at least one token")
+        if max_unordered is not None and max_unordered < 1:
+            raise ValueError("max_unordered must be at least 1")
+        if queue_bound is not None and queue_bound < 1:
+            raise ValueError("queue_bound must be at least 1")
+        if max_send_buffer is not None and max_send_buffer < 1:
+            raise ValueError("max_send_buffer must be at least 1")
+        self.rate = rate
+        self.burst = float(burst) if burst is not None else (
+            max(1.0, rate) if rate is not None else None)
+        self.max_unordered = max_unordered
+        self.queue_bound = queue_bound
+        self.max_send_buffer = max_send_buffer
+        self.backoff = backoff
+
+    @property
+    def enabled(self) -> bool:
+        """True when any admission check is active."""
+        return self.rate is not None or self.max_unordered is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlowConfig(rate={self.rate}, burst={self.burst}, "
+                f"max_unordered={self.max_unordered}, "
+                f"queue_bound={self.queue_bound}, "
+                f"max_send_buffer={self.max_send_buffer})")
+
+
+class BackoffPolicy:
+    """Seeded jittered exponential backoff for rejected submissions.
+
+    ``delay(attempt, rng)`` returns the wait before retry number
+    ``attempt`` (0-based), or ``None`` once ``max_retries`` is
+    exhausted.  The jitter multiplier is drawn from the caller's
+    ``rng`` — pass a stream seeded from the scenario seed and the
+    schedule replays bit-identically.
+    """
+
+    __slots__ = ("base", "factor", "max_delay", "jitter", "max_retries")
+
+    def __init__(self, base: float = 0.05, factor: float = 2.0,
+                 max_delay: float = 2.0, jitter: float = 0.5,
+                 max_retries: int = 8) -> None:
+        if base <= 0:
+            raise ValueError("base must be positive")
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        if max_delay < base:
+            raise ValueError("max_delay must be >= base")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.max_retries = max_retries
+
+    def delay(self, attempt: int, rng: random.Random) -> Optional[float]:
+        if attempt >= self.max_retries:
+            return None
+        raw = min(self.max_delay, self.base * (self.factor ** attempt))
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+
+class FlowController:
+    """Token-bucket + credit admission for one node's submissions.
+
+    The bucket refills lazily from the clock value the caller passes in
+    (virtual time under the simulator, loop time under the live
+    runtime): ``tokens = min(burst, tokens + (now - last) * rate)``.
+    No RNG is consumed and no timers are scheduled, so the controller
+    is invisible to the deterministic event order unless it rejects.
+
+    ``try_admit`` is the whole protocol: it returns ``None`` and burns
+    a token on admission, or the rejection reason (``"rate"`` or
+    ``"credit"``) without side effects beyond the rejection counters.
+    Callers translate a reason into :class:`repro.errors.OverloadError`
+    *before* consuming a sequence number, so a rejected submission
+    leaves no trace in the protocol state.
+    """
+
+    __slots__ = ("node_id", "config", "tokens", "_last_refill",
+                 "accepted", "rejected", "rejected_by_reason")
+
+    def __init__(self, node_id: int, config: Optional[FlowConfig] = None) -> None:
+        self.node_id = node_id
+        self.config = config or FlowConfig()
+        self.tokens = self.config.burst if self.config.burst is not None else 0.0
+        self._last_refill = 0.0
+        self.accepted = 0
+        self.rejected = 0
+        self.rejected_by_reason: Dict[str, int] = {}
+
+    def try_admit(self, now: float, outstanding: int = 0) -> Optional[str]:
+        """Admit one submission at virtual time ``now``.
+
+        ``outstanding`` is the caller's current volatile-buffer
+        occupancy (its credit usage).  Returns ``None`` on admission or
+        the rejection reason.
+        """
+        reason = self._check(now, outstanding)
+        if reason is None:
+            if self.config.rate is not None:
+                self.tokens -= 1.0
+            self.accepted += 1
+            return None
+        self.rejected += 1
+        self.rejected_by_reason[reason] = \
+            self.rejected_by_reason.get(reason, 0) + 1
+        return reason
+
+    def _check(self, now: float, outstanding: int) -> Optional[str]:
+        config = self.config
+        if config.max_unordered is not None \
+                and outstanding >= config.max_unordered:
+            return "credit"
+        if config.rate is not None:
+            self._refill(now)
+            if self.tokens < 1.0:
+                return "rate"
+        return None
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            assert self.config.rate is not None and self.config.burst is not None
+            self.tokens = min(self.config.burst,
+                              self.tokens + elapsed * self.config.rate)
+            self._last_refill = now
+
+    @property
+    def offered(self) -> int:
+        """Total admission attempts seen (accepted + rejected)."""
+        return self.accepted + self.rejected
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "rejected_by_reason": dict(sorted(
+                self.rejected_by_reason.items())),
+        }

@@ -38,6 +38,7 @@ from repro.core.basic import BasicAtomicBroadcast
 from repro.core.messages import AppMessage
 from repro.errors import SimulationError
 from repro.fdetect.heartbeat import HeartbeatDetector
+from repro.flow.controller import FlowConfig, FlowController
 from repro.fdetect.omega import OmegaOracle
 from repro.membership import View, ViewManager, reconfig_payload
 from repro.metrics.collector import MetricsCollector, RunMetrics
@@ -69,7 +70,8 @@ class ClusterConfig:
                  fd_timeout: float = 2.0,
                  sequencer_id: int = 0,
                  storage_factory: Optional[Callable[[int], Any]] = None,
-                 stubborn: Any = None):
+                 stubborn: Any = None,
+                 flow: Optional[FlowConfig] = None):
         if protocol not in PROTOCOLS:
             raise SimulationError(
                 f"unknown protocol {protocol!r}; pick one of {PROTOCOLS}")
@@ -102,6 +104,13 @@ class ClusterConfig:
         # protocols are written against; on for the live UDP runtime),
         # False = force off, True or a StubbornConfig = force on.
         self.stubborn = stubborn
+        # flow: None = no admission control (every existing seed
+        # universe unchanged); a FlowConfig gates to_broadcast() with a
+        # per-node deterministic FlowController.
+        if flow is not None and not isinstance(flow, FlowConfig):
+            raise SimulationError(
+                f"flow must be None or a FlowConfig; got {flow!r}")
+        self.flow = flow
 
     def resolve_stubborn(self, default_on: bool) -> Optional[StubbornConfig]:
         """The effective stubborn-channel config for a runtime, or None."""
@@ -122,7 +131,8 @@ class ClusterConfig:
 def build_node_stack(sim: Any, network: Any, config: ClusterConfig,
                      collector: MetricsCollector, node_id: int,
                      storage: Any, view: Optional[View] = None,
-                     joining: bool = False) -> Tuple[
+                     joining: bool = False,
+                     flow: Optional[FlowController] = None) -> Tuple[
                          Node, Any, Optional[Any],
                          ReplicatedStateMachine, Optional[ViewManager]]:
     """Assemble one node's protocol stack on any runtime/medium pair.
@@ -190,6 +200,8 @@ def build_node_stack(sim: Any, network: Any, config: ClusterConfig,
                 gossip_interval=config.gossip_interval)
         node.add_component(abcast)
     abcast.view_manager = view_manager
+    if flow is not None:
+        abcast.flow = flow
     if joining and isinstance(abcast, AlternativeAtomicBroadcast) and \
             (config.alt or AlternativeConfig()).delta is not None:
         abcast.mark_joining()
@@ -265,6 +277,10 @@ class Cluster:
         self.consensuses: Dict[int, Any] = {}
         self.rsms: Dict[int, ReplicatedStateMachine] = {}
         self.views: Dict[int, ViewManager] = {}
+        # Per-node admission controllers (empty without a flow config;
+        # controllers survive crashes — admission policy is not state
+        # the paper's model wipes, it belongs to the harness).
+        self.flows: Dict[int, FlowController] = {}
         self.initial_view = View.initial(range(config.n))
         for node_id in range(config.n):
             self._build_node(node_id, self.initial_view)
@@ -274,9 +290,14 @@ class Cluster:
     def _build_node(self, node_id: int, view: View,
                     joining: bool = False) -> None:
         config = self.config
+        flow: Optional[FlowController] = None
+        if config.flow is not None:
+            flow = self.flows.setdefault(
+                node_id, FlowController(node_id, config.flow))
         node, abcast, consensus, rsm, view_manager = build_node_stack(
             self.sim, self.medium, config, self.collector, node_id,
-            config.storage_factory(node_id), view=view, joining=joining)
+            config.storage_factory(node_id), view=view, joining=joining,
+            flow=flow)
         if consensus is not None:
             self.consensuses[node_id] = consensus
         self.nodes[node_id] = node
@@ -413,6 +434,8 @@ class Cluster:
                 "rounds_skipped": getattr(abcast, "rounds_skipped", 0),
                 "checkpoints": getattr(abcast, "checkpoints_taken", 0),
                 "recovery_durations": list(node.recovery_durations),
+                "unordered_high_water": getattr(
+                    abcast, "unordered_high_water", 0),
             }
             if node_id in self.views:
                 node_stats[node_id]["epoch"] = self.views[node_id].view.epoch
@@ -427,4 +450,7 @@ class Cluster:
             node_stats=node_stats,
             stubborn=(self.stubborn.metrics.snapshot()
                       if self.stubborn is not None else None),
+            flow=({nid: controller.snapshot()
+                   for nid, controller in sorted(self.flows.items())}
+                  if self.flows else None),
         )

@@ -32,6 +32,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.apps.base import ReplicatedStateMachine
 from repro.core.messages import AppMessage
 from repro.errors import SimulationError
+from repro.flow.controller import FlowController
 from repro.harness.cluster import ClusterConfig, build_node_stack, \
     stack_settled
 from repro.membership import View, ViewManager, reconfig_payload
@@ -70,7 +71,9 @@ class LiveCluster:
             self.runtime,
             self.runtime.rng("network"),
             loss_rate=config.network.loss_rate,
-            duplicate_rate=config.network.duplicate_rate)
+            duplicate_rate=config.network.duplicate_rate,
+            max_send_buffer=(config.flow.max_send_buffer
+                             if config.flow is not None else None))
         # UDP is a real fair-loss channel, so the stubborn retransmission
         # layer is on by default here (config.stubborn=False disables it).
         stubborn_config = config.resolve_stubborn(default_on=True)
@@ -87,6 +90,8 @@ class LiveCluster:
         self.consensuses: Dict[int, Any] = {}
         self.rsms: Dict[int, ReplicatedStateMachine] = {}
         self.views: Dict[int, ViewManager] = {}
+        # Per-node admission controllers (empty without a flow config).
+        self.flows: Dict[int, FlowController] = {}
         self.initial_view = View.initial(range(config.n))
         self._started = False
         for node_id in range(config.n):
@@ -94,10 +99,14 @@ class LiveCluster:
 
     def _build_node(self, node_id: int, view: View,
                     joining: bool = False) -> None:
+        flow: Optional[FlowController] = None
+        if self.config.flow is not None:
+            flow = self.flows.setdefault(
+                node_id, FlowController(node_id, self.config.flow))
         node, abcast, consensus, rsm, view_manager = build_node_stack(
             self.runtime, self.medium, self.config, self.collector,
             node_id, FileStorage(self._node_dir(node_id)), view=view,
-            joining=joining)
+            joining=joining, flow=flow)
         if consensus is not None:
             self.consensuses[node_id] = consensus
         self.nodes[node_id] = node

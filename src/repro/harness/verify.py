@@ -34,7 +34,8 @@ from repro.core.agreed import deterministic_order
 from repro.core.ids import MessageId
 from repro.errors import VerificationError
 
-__all__ = ["verify_run", "VerificationReport", "canonical_sequence"]
+__all__ = ["verify_overload_safety", "verify_run", "VerificationReport",
+           "canonical_sequence"]
 
 
 class VerificationReport:
@@ -242,3 +243,74 @@ def verify_run(cluster, good_nodes: Optional[List[int]] = None,
     return VerificationReport(canonical, rounds=max(
         (getattr(ab, "k", 0) for ab in cluster.abcasts.values()), default=0),
         good_nodes=list(good_nodes), undeliverable=undeliverable)
+
+
+def verify_overload_safety(cluster,
+                           report: Optional[VerificationReport] = None,
+                           offered: Optional[int] = None,
+                           rejected: Optional[int] = None) -> None:
+    """Check the overload-safety invariants on a finished run.
+
+    Complements :func:`verify_run` (which already guarantees that every
+    *accepted* broadcast was delivered in the uniform order) with the
+    flow-control contract:
+
+    * **Exact accounting** — per node, ``accepted + rejected`` equals the
+      admission attempts the controller saw; when the harness knows the
+      scenario-level offered/rejected totals, they must match the
+      controllers' sums exactly (no rejection silently lost).
+    * **Bounded queues** — the stubborn backlog high-water mark never
+      exceeded its configured ``max_backlog``, and (when the flow config
+      declares a ``queue_bound``) no protocol Unordered/pending buffer
+      ever grew beyond it.
+
+    Raises :class:`~repro.errors.VerificationError` on the first
+    violation; returns ``None`` otherwise.
+    """
+    flows = getattr(cluster, "flows", None) or {}
+    for node_id, controller in flows.items():
+        if controller.accepted + controller.rejected != controller.offered:
+            raise VerificationError(
+                f"overload accounting violated at node {node_id}: "
+                f"{controller.accepted} accepted + {controller.rejected} "
+                f"rejected != {controller.offered} offered")
+        by_reason = sum(controller.rejected_by_reason.values())
+        if by_reason != controller.rejected:
+            raise VerificationError(
+                f"overload accounting violated at node {node_id}: "
+                f"{controller.rejected} rejections but "
+                f"{by_reason} accounted by reason")
+    if offered is not None:
+        total_accepted = sum(c.accepted for c in flows.values())
+        total_rejected = sum(c.rejected for c in flows.values())
+        if total_accepted + total_rejected != offered:
+            raise VerificationError(
+                f"overload accounting violated: cluster accepted "
+                f"{total_accepted} + rejected {total_rejected} != "
+                f"{offered} offered")
+        if rejected is not None and total_rejected != rejected:
+            raise VerificationError(
+                f"overload accounting violated: controllers counted "
+                f"{total_rejected} rejections, the harness observed "
+                f"{rejected}")
+
+    stubborn = getattr(cluster, "stubborn", None)
+    if stubborn is not None and stubborn.config.max_backlog is not None:
+        high = stubborn.metrics.backlog_high_water
+        if high > stubborn.config.max_backlog:
+            raise VerificationError(
+                f"bounded-queue invariant violated: stubborn backlog "
+                f"high water {high} > max_backlog "
+                f"{stubborn.config.max_backlog}")
+
+    config = getattr(cluster, "config", None)
+    flow_config = getattr(config, "flow", None)
+    bound = getattr(flow_config, "queue_bound", None)
+    if bound is not None:
+        for node_id, abcast in cluster.abcasts.items():
+            for attr in ("unordered_high_water", "pending_high_water"):
+                high = getattr(abcast, attr, 0)
+                if high > bound:
+                    raise VerificationError(
+                        f"bounded-queue invariant violated: node "
+                        f"{node_id} {attr} {high} > queue_bound {bound}")

@@ -143,7 +143,8 @@ class RunMetrics:
                  network: Dict[str, int],
                  node_stats: Dict[int, Dict[str, Any]],
                  stubborn: Optional[Dict[str, int]] = None,
-                 faults_injected: Optional[Dict[str, int]] = None):
+                 faults_injected: Optional[Dict[str, int]] = None,
+                 flow: Optional[Dict[int, Dict[str, Any]]] = None):
         self.duration = duration
         self.collector = collector
         self.storage_by_node = storage_by_node
@@ -158,6 +159,9 @@ class RunMetrics:
         # Fault-injection counters from the chaos engine (None outside
         # chaos runs).
         self.faults_injected = faults_injected
+        # Per-node admission-control snapshots (None without a flow
+        # config — the default).
+        self.flow = flow
 
     # -- headline numbers ---------------------------------------------------------
 
@@ -199,6 +203,24 @@ class RunMetrics:
         if not self.stubborn:
             return 0
         return self.stubborn.get("acks_received", 0)
+
+    def total_backlog_overflows(self) -> int:
+        """Stubborn-backlog drops from the bounded queue (0 without it)."""
+        if not self.stubborn:
+            return 0
+        return self.stubborn.get("backlog_overflows", 0)
+
+    def total_flow_accepted(self) -> int:
+        """Submissions admitted by flow control (0 without a flow config)."""
+        if not self.flow:
+            return 0
+        return sum(s["accepted"] for s in self.flow.values())
+
+    def total_flow_rejected(self) -> int:
+        """Submissions rejected by flow control (0 without a flow config)."""
+        if not self.flow:
+            return 0
+        return sum(s["rejected"] for s in self.flow.values())
 
     def total_quarantined(self) -> int:
         """Corrupt stored records detected and quarantined across nodes."""

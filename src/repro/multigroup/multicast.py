@@ -47,7 +47,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.basic import BasicAtomicBroadcast, DeliveryListener
 from repro.core.messages import AppMessage
-from repro.errors import BroadcastError
+from repro.errors import BroadcastError, OverloadError
 from repro.runtime import NodeComponent
 from repro.transport.endpoint import Endpoint
 from repro.transport.message import WireMessage
@@ -154,6 +154,13 @@ class MultiGroupMulticast(NodeComponent):
         self._relayed: set = set()
         self._seq = 0
         self.mdelivered_count = 0
+        # Optional admission control (repro.flow.FlowController).  The
+        # gate sits here, not in the per-group ABs, so a multi-group
+        # submit is admitted or rejected atomically — never half-sent.
+        self.flow = None
+        # Cumulative high-water mark of the pending table (spans
+        # incarnations; sampled by the overload-safety verifier).
+        self.pending_high_water = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -206,6 +213,15 @@ class MultiGroupMulticast(NodeComponent):
                 raise BroadcastError(
                     f"node {self.node.node_id} is not a member of "
                     f"group {group!r}")
+        if self.flow is not None:
+            # Admission is all-or-nothing: checked before the sequence
+            # bump and before any group AB sees the proposal.
+            reason = self.flow.try_admit(self.node.sim.now,
+                                         len(self.pending))
+            if reason is not None:
+                raise OverloadError(
+                    f"multicast rejected on node {self.node.node_id} "
+                    f"({reason})", reason=reason)
         self._seq += 1
         first_ab = self.group_abs[destinations[0]]
         mid: Mid = (self.node.node_id, first_ab.incarnation, self._seq)
@@ -238,6 +254,8 @@ class MultiGroupMulticast(NodeComponent):
         if entry is None:
             entry = _Pending(mid, groups, payload)
             self.pending[mid] = entry
+            if len(self.pending) > self.pending_high_water:
+                self.pending_high_water = len(self.pending)
         return entry
 
     def _on_propose(self, group: str, mid: Mid,

@@ -66,6 +66,17 @@ def run_cell(cell: PerfCell, isolation: str = "snapshot") -> CellResult:
         "messages_broadcast": metrics.messages_broadcast,
         "messages_delivered": metrics.messages_delivered,
     }
+    if cell.flow is not None:
+        # Flow keys exist only on throttled cells, so the 16 legacy
+        # cells' determinism dicts stay byte-identical to old baselines.
+        cluster = result.cluster
+        determinism["flow_accepted"] = sum(
+            controller.accepted for controller in cluster.flows.values())
+        determinism["flow_rejected"] = sum(
+            controller.rejected for controller in cluster.flows.values())
+        determinism["unordered_high_water"] = max(
+            getattr(abcast, "unordered_high_water", 0)
+            for abcast in cluster.abcasts.values())
     wall = {
         "wall_seconds": round(wall_seconds, 4),
         "deliveries_per_sec": round(

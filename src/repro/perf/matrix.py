@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.alternative import AlternativeConfig
+from repro.flow.controller import FlowConfig
 from repro.harness.cluster import ClusterConfig
 from repro.harness.scenario import Scenario
 from repro.sim.faults import RandomFaults
@@ -20,7 +21,7 @@ from repro.storage.memory import MemoryStorage
 from repro.transport.network import NetworkConfig
 from repro.workloads.generators import PoissonWorkload
 
-__all__ = ["PerfCell", "default_matrix", "smallest_cell",
+__all__ = ["PerfCell", "default_matrix", "overload_cell", "smallest_cell",
            "storage_comparison_cell"]
 
 # One fixed seed root for the whole matrix; per-cell seeds derive from
@@ -36,7 +37,8 @@ class PerfCell:
                  rate_per_node: float = 6.0,
                  workload_duration: float = 8.0,
                  duration: float = 12.0,
-                 settle_limit: float = 240.0):
+                 settle_limit: float = 240.0,
+                 flow: Optional[FlowConfig] = None):
         self.protocol = protocol
         self.n = n
         self.loss_rate = loss_rate
@@ -46,16 +48,20 @@ class PerfCell:
         self.workload_duration = workload_duration
         self.duration = duration
         self.settle_limit = settle_limit
+        # Admission control; None on every legacy cell (the 16 frozen
+        # cells predate the flow layer and must stay byte-identical).
+        self.flow = flow
 
     @property
     def name(self) -> str:
         loss = f"l{int(self.loss_rate * 100):02d}"
-        mood = "chaos" if self.chaos else "quiet"
+        mood = "overload" if self.flow is not None \
+            else ("chaos" if self.chaos else "quiet")
         return f"{self.protocol}-n{self.n}-{loss}-{mood}"
 
     def params(self) -> Dict[str, object]:
         """The frozen cell definition, as recorded in BENCH files."""
-        return {
+        params: Dict[str, object] = {
             "protocol": self.protocol,
             "n": self.n,
             "loss_rate": self.loss_rate,
@@ -65,6 +71,14 @@ class PerfCell:
             "workload_duration": self.workload_duration,
             "duration": self.duration,
         }
+        # Added only when set: legacy cell records keep their exact shape.
+        if self.flow is not None:
+            params["flow"] = {
+                "rate": self.flow.rate,
+                "burst": self.flow.burst,
+                "max_unordered": self.flow.max_unordered,
+            }
+        return params
 
     def scenario(self, isolation: str = "snapshot") -> Scenario:
         """Build the cell's scenario (``isolation`` picks the
@@ -85,7 +99,8 @@ class PerfCell:
                 network=NetworkConfig(loss_rate=self.loss_rate),
                 alt=alt,
                 storage_factory=lambda node_id: MemoryStorage(
-                    isolation=isolation)),
+                    isolation=isolation),
+                flow=self.flow),
             workload=PoissonWorkload(self.rate_per_node,
                                      self.workload_duration,
                                      seed=self.seed),
@@ -112,6 +127,17 @@ def default_matrix() -> List[PerfCell]:
 def smallest_cell() -> PerfCell:
     """The cheapest cell; CI's perf-smoke drift check runs only this."""
     return default_matrix()[0]
+
+
+def overload_cell() -> PerfCell:
+    """The admission-control cell: offered load well above the bucket
+    rate, so the run measures the throttled path (gating, rejections,
+    workload backoff) rather than raw ordering throughput.  A new cell,
+    not an edit — the 16 legacy cells stay frozen."""
+    return PerfCell("basic", 3, 0.0, chaos=False, seed=_SEED_ROOT + 100,
+                    rate_per_node=24.0, workload_duration=6.0,
+                    duration=10.0, settle_limit=240.0,
+                    flow=FlowConfig(rate=6.0, burst=6, max_unordered=24))
 
 
 def storage_comparison_cell() -> PerfCell:

@@ -68,12 +68,19 @@ class LiveNetwork:
         Injected Bernoulli drop/duplicate probabilities on top of
         whatever the real network does.  ``loss_rate`` must stay < 1 to
         preserve fair loss.
+    max_send_buffer:
+        Byte bound on a sender socket's kernel write buffer.  When the
+        buffer is over the bound the datagram is dropped and counted
+        (``send_overflows``) instead of queued without limit — the live
+        analogue of the simulator's bounded stubborn backlog.  ``None``
+        (default) disables the bound.
     """
 
     def __init__(self, runtime: LiveRuntime,
                  rng: Optional[random.Random] = None,
                  loss_rate: float = 0.0,
-                 duplicate_rate: float = 0.0) -> None:
+                 duplicate_rate: float = 0.0,
+                 max_send_buffer: Optional[int] = None) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError(
                 f"loss_rate {loss_rate} breaks the fair-loss assumption")
@@ -83,6 +90,11 @@ class LiveNetwork:
         self.rng = rng if rng is not None else runtime.rng("network")
         self.loss_rate = loss_rate
         self.duplicate_rate = duplicate_rate
+        if max_send_buffer is not None and max_send_buffer < 1:
+            raise SimulationError(f"bad max_send_buffer {max_send_buffer}")
+        self.max_send_buffer = max_send_buffer
+        self.send_overflows = 0
+        self.send_buffer_high_water = 0
         self.nodes: Dict[int, Node] = {}
         self.ports: Dict[int, int] = {}
         self.metrics = NetworkMetrics()
@@ -187,6 +199,17 @@ class LiveNetwork:
             # destination is unreachable: the datagram is simply lost.
             self.metrics.lost += 1
             return
+        if self.max_send_buffer is not None:
+            buffered = transport.get_write_buffer_size()
+            if buffered > self.send_buffer_high_water:
+                self.send_buffer_high_water = buffered
+            if buffered >= self.max_send_buffer:
+                # Bounded send queue: dropping here is ordinary channel
+                # loss to the layers above (fair loss is preserved — the
+                # buffer drains between sends).
+                self.send_overflows += 1
+                self.metrics.lost += 1
+                return
         transport.sendto(data, ("127.0.0.1", port))
 
     def _receive(self, dst: int, data: bytes) -> None:

@@ -98,6 +98,11 @@ class Node:
         self.total_uptime = 0.0
         self.recovery_durations: List[float] = []
         self._recovering_since: Optional[float] = None
+        # Gray failure: a slow disk stalls the whole (single-threaded)
+        # process.  While now < stall_until, inbound messages are
+        # deferred, not dropped — equivalent to extra channel delay,
+        # which the asynchronous model already permits.
+        self.stall_until = 0.0
 
     # -- composition ---------------------------------------------------------
 
@@ -143,6 +148,7 @@ class Node:
         for task in tasks:
             task.kill()
         self._handlers.clear()
+        self.stall_until = 0.0
         for component in self.components:
             component.on_crash()
 
@@ -200,14 +206,34 @@ class Node:
         """
         self._handlers[msg_type] = handler
 
+    def stall(self, duration: float) -> None:
+        """Gray failure: freeze message processing for ``duration``.
+
+        Stalls accumulate (a queue of slow disk writes pushes the horizon
+        out further); a crash clears the stall with the rest of the
+        volatile state.
+        """
+        if duration <= 0:
+            return
+        base = max(self.stall_until, self.sim.now)
+        self.stall_until = base + duration
+
     def deliver(self, message: Any, sender: int) -> bool:
         """Called by the transport when a message arrives.
 
         Messages arriving while the node is down are lost (Section 2.1).
+        Messages arriving while the node is *stalled* are deferred until
+        the stall horizon passes (the process is slow, not crashed).
         Returns ``True`` if the message was consumed.
         """
         if not self.up:
             return False
+        if self.sim.now < self.stall_until:
+            # Re-present the message once the stall ends; the horizon may
+            # have grown by then, in which case it defers again.
+            self.sim.schedule(self.stall_until - self.sim.now,
+                              self.deliver, message, sender)
+            return True
         handler = self._handlers.get(message.type)
         if handler is None:
             return False

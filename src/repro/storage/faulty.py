@@ -12,7 +12,11 @@ and injects the failure modes a crash-recovery protocol must survive:
   cut mid-flush on a backend without atomic rename), *then* the call
   raises: the self-healing reader must detect and quarantine it;
 * **bit flip** — silent corruption of an already-stored record (media
-  rot), applied on demand by the chaos engine.
+  rot), applied on demand by the chaos engine;
+* **slow write** — a gray failure: the write *succeeds* but takes a
+  seeded latency draw (a limping disk); the stall duration is reported
+  through :attr:`on_stall` so the runtime can model the process being
+  slow-but-alive for that long.
 
 Faults are drawn from a seeded RNG (``fail_rate``/``torn_rate`` per
 write) or armed one-shot (:meth:`arm_crash_write`), so chaos runs are
@@ -87,7 +91,14 @@ class FaultyStorage(StableStorage):
         self.node_hint = node_hint
         self._armed: Optional[str] = None
         self.injected: Dict[str, int] = {
-            "write_crash": 0, "torn_write": 0, "bit_flip": 0}
+            "write_crash": 0, "torn_write": 0, "bit_flip": 0,
+            "slow_write": 0}
+        # Gray failure: per-write latency bounds (None = healthy disk)
+        # and the callback receiving each drawn stall (wired by the
+        # chaos controller to Node.stall).
+        self.latency_range: Optional[tuple] = None
+        self.on_stall: Optional[Any] = None
+        self.total_stall = 0.0
 
     # -- fault controls ------------------------------------------------------
 
@@ -102,6 +113,17 @@ class FaultyStorage(StableStorage):
         self._armed = None
         self.fail_rate = 0.0
         self.torn_rate = 0.0
+        self.latency_range = None
+
+    def set_latency(self, low: float, high: float) -> None:
+        """Make the disk limp: every write draws a stall in [low, high]."""
+        if low < 0 or high < low:
+            raise ValueError(f"bad latency bounds [{low}, {high}]")
+        self.latency_range = (low, high)
+
+    def clear_latency(self) -> None:
+        """Restore a healthy disk."""
+        self.latency_range = None
 
     def flip_bit(self, key: Any) -> bool:
         """Flip one bit of the stored record for ``key`` (file backends).
@@ -145,6 +167,12 @@ class FaultyStorage(StableStorage):
         if mode == "fail":
             self.injected["write_crash"] += 1
             raise InjectedCrashFault(self.node_hint, "write-crash", path)
+        if self.latency_range is not None:
+            stall = self.rng.uniform(*self.latency_range)
+            self.injected["slow_write"] += 1
+            self.total_stall += stall
+            if self.on_stall is not None:
+                self.on_stall(stall)
         self.inner._write(path, value)
 
     def _draw_fault(self) -> Optional[str]:

@@ -105,6 +105,11 @@ class Network:
         self.nodes: Dict[int, Node] = {}
         self.metrics = NetworkMetrics()
         self._partitions: Set[FrozenSet[int]] = set()
+        # Gray failure: constant extra delay on every message touching a
+        # limping node (either direction).  Added on top of the drawn
+        # delay with NO extra RNG draws, so an empty map leaves the
+        # event order of every existing seed untouched.
+        self._node_delays: Dict[int, float] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -136,6 +141,23 @@ class Network:
         """True if the a—b link is currently severed."""
         return frozenset((a, b)) in self._partitions
 
+    # -- gray failures (limping nodes) -----------------------------------------
+
+    def set_node_delay(self, node_id: int, extra: float) -> None:
+        """Make ``node_id`` limp: add ``extra`` to every delay draw on
+        messages it sends or receives (slow NIC / overloaded host)."""
+        if extra < 0:
+            raise SimulationError(f"negative limp delay {extra}")
+        self._node_delays[node_id] = extra
+
+    def clear_node_delay(self, node_id: int) -> None:
+        """Restore normal link latency for ``node_id``."""
+        self._node_delays.pop(node_id, None)
+
+    def clear_node_delays(self) -> None:
+        """Restore normal link latency everywhere (chaos settle phase)."""
+        self._node_delays.clear()
+
     # -- sending ------------------------------------------------------------------
 
     def send(self, src: int, dst: int, message: WireMessage) -> None:
@@ -162,11 +184,13 @@ class Network:
         if self.config.loss_rate and self.rng.random() < self.config.loss_rate:
             self.metrics.lost += 1
             return
-        self.sim.schedule(self._draw_delay(), self._deliver, src, dst, message)
+        extra = self._node_delays.get(src, 0.0) + self._node_delays.get(dst, 0.0)
+        self.sim.schedule(self._draw_delay() + extra, self._deliver,
+                          src, dst, message)
         if (self.config.duplicate_rate
                 and self.rng.random() < self.config.duplicate_rate):
             self.metrics.duplicated += 1
-            self.sim.schedule(self._draw_delay(), self._deliver,
+            self.sim.schedule(self._draw_delay() + extra, self._deliver,
                               src, dst, message)
 
     def multisend(self, src: int, message: WireMessage,

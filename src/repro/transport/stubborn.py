@@ -21,7 +21,10 @@ component holding the volatile sender state:
   (seeded jitter keeps retries from synchronising) until a
   :class:`StubbornAck` arrives;
 * at most ``window`` envelopes are in flight per peer; the rest queue in
-  a volatile backlog and launch as acks free window slots;
+  a volatile backlog (bounded by ``max_backlog``) and launch as acks
+  free window slots — a backlog overflow drops the newest envelope and
+  counts it, degrading to ordinary channel loss, which every protocol
+  above already tolerates by design;
 * while the local failure detector suspects a peer, retransmission to it
   drops to a slow poll (``suspend_interval``) instead of hammering a
   crashed process — and resumes full speed once the peer is
@@ -100,6 +103,12 @@ class StubbornConfig:
     window:
         Maximum unacknowledged envelopes in flight per peer; excess
         messages queue in a volatile backlog.
+    max_backlog:
+        Bound on that per-peer backlog.  When full, the *newest*
+        envelope is dropped and counted (``backlog_overflows``) instead
+        of queued — equivalent to a fair-loss channel drop, so safety is
+        untouched and memory stays bounded.  ``None`` disables the bound
+        (the historical unbounded behaviour).
     base_interval, max_interval:
         Exponential backoff bounds for the per-envelope retransmission
         timer (``base * 2^attempt``, capped at ``max``).
@@ -121,9 +130,12 @@ class StubbornConfig:
                  max_interval: float = 2.0,
                  jitter: float = 0.1,
                  suspend_interval: float = 2.0,
-                 bypass_types: Tuple[str, ...] = ("fd.alive",)):
+                 bypass_types: Tuple[str, ...] = ("fd.alive",),
+                 max_backlog: Optional[int] = 1024):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
+        if max_backlog is not None and max_backlog < 1:
+            raise ValueError(f"max_backlog must be >= 1, got {max_backlog}")
         if base_interval <= 0 or max_interval < base_interval:
             raise ValueError(
                 f"bad backoff bounds [{base_interval}, {max_interval}]")
@@ -137,13 +149,15 @@ class StubbornConfig:
         self.jitter = jitter
         self.suspend_interval = suspend_interval
         self.bypass_types: FrozenSet[str] = frozenset(bypass_types)
+        self.max_backlog = max_backlog
 
 
 class StubbornMetrics:
     """Retransmission counters, per channel (shared across nodes)."""
 
     __slots__ = ("data_sent", "retransmissions", "acks_sent",
-                 "acks_received", "queued", "suspended_skips")
+                 "acks_received", "queued", "suspended_skips",
+                 "backlog_overflows", "backlog_high_water")
 
     def __init__(self) -> None:
         self.data_sent = 0
@@ -152,6 +166,8 @@ class StubbornMetrics:
         self.acks_received = 0
         self.queued = 0
         self.suspended_skips = 0
+        self.backlog_overflows = 0
+        self.backlog_high_water = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy, for metric collection."""
@@ -162,6 +178,8 @@ class StubbornMetrics:
             "acks_received": self.acks_received,
             "queued": self.queued,
             "suspended_skips": self.suspended_skips,
+            "backlog_overflows": self.backlog_overflows,
+            "backlog_high_water": self.backlog_high_water,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -245,8 +263,17 @@ class StubbornLink(NodeComponent):
         state.next_seq += 1
         envelope = StubbornData.wrap(seq, message)
         if len(state.pending) >= config.window:
+            metrics = self.channel.metrics
+            if config.max_backlog is not None \
+                    and len(state.backlog) >= config.max_backlog:
+                # Drop-newest: to the layer above this is ordinary
+                # fair-loss channel behaviour, masked by gossip/retry.
+                metrics.backlog_overflows += 1
+                return
             state.backlog.append(envelope)
-            self.channel.metrics.queued += 1
+            metrics.queued += 1
+            if len(state.backlog) > metrics.backlog_high_water:
+                metrics.backlog_high_water = len(state.backlog)
             return
         self._launch(dst, state, envelope)
 

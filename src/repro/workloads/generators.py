@@ -5,6 +5,16 @@ generators are seeded and therefore deterministic; submissions aimed at a
 node that happens to be down are silently skipped (a down process cannot
 invoke ``A-broadcast``), which the paper's model permits.
 
+When the cluster runs with admission control
+(:class:`~repro.flow.controller.FlowConfig`), a submission can be
+rejected with :class:`~repro.errors.OverloadError`.  Every generator
+then applies *backpressure*: the rejected broadcast is retried after a
+seeded, jittered exponential backoff
+(:class:`~repro.flow.controller.BackoffPolicy`) until it is accepted or
+the retry budget runs out.  The backoff stream is created lazily and
+drawn from only on rejection, so workloads against unthrottled clusters
+(the default) consume exactly the randomness they always did.
+
 * :class:`PoissonWorkload` — independent Poisson arrivals per node
   (open-loop offered load).
 * :class:`BurstyWorkload` — on/off (burst/silence) arrival pattern.
@@ -18,6 +28,9 @@ from __future__ import annotations
 
 import random  # seeded per-workload random.Random instances only
 from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import OverloadError
+from repro.flow.controller import BackoffPolicy
 
 __all__ = [
     "PoissonWorkload",
@@ -33,11 +46,29 @@ def _default_payload(node_id: int, index: int) -> Any:
 
 
 class _SubmissionWorkload:
-    """Shared machinery: pre-draw (time, node) pairs, install as timers."""
+    """Shared machinery: pre-draw (time, node) pairs, install as timers.
 
-    def __init__(self, payload_fn: Optional[Callable[[int, int], Any]] = None):
+    Overload handling: a submission the node's flow controller rejects
+    is rescheduled after a jittered exponential backoff, and the
+    ``offered`` / ``rejected_attempts`` / ``retries`` / ``gave_up``
+    counters record the whole exchange.  ``pending_retries`` counts
+    broadcasts still in a backoff chain — a harness can drain them
+    before verifying exact admission accounting.
+    """
+
+    def __init__(self, payload_fn: Optional[Callable[[int, int], Any]] = None,
+                 backoff: Optional[BackoffPolicy] = None):
         self.payload_fn = payload_fn or _default_payload
+        self.backoff = backoff or BackoffPolicy()
         self.submitted = 0
+        self.offered = 0            # admission attempts, retries included
+        self.rejected_attempts = 0
+        self.retries = 0
+        self.gave_up = 0
+        self.pending_retries = 0
+        # Lazy: only a throttled cluster ever draws from this stream, so
+        # unthrottled runs keep their historical randomness untouched.
+        self._backoff_rng: Optional[random.Random] = None
 
     def arrivals(self, cluster) -> List[Tuple[float, int]]:
         """Return the (time, node_id) submission plan."""
@@ -54,10 +85,37 @@ class _SubmissionWorkload:
                                  payload)
         return len(plan)
 
-    def _submit(self, cluster, node_id: int, payload: Any) -> None:
+    def _backoff_stream(self) -> random.Random:
+        if self._backoff_rng is None:
+            self._backoff_rng = random.Random(
+                f"flow-backoff:{getattr(self, 'seed', 0)}")
+        return self._backoff_rng
+
+    def _submit(self, cluster, node_id: int, payload: Any,
+                attempt: int = 0) -> None:
         if not cluster.nodes[node_id].up:
+            if attempt:
+                self.pending_retries -= 1
             return  # a down process cannot invoke A-broadcast
-        cluster.submit(node_id, payload)
+        self.offered += 1
+        try:
+            cluster.submit(node_id, payload)
+        except OverloadError:
+            self.rejected_attempts += 1
+            delay = self.backoff.delay(attempt, self._backoff_stream())
+            if delay is None:
+                self.gave_up += 1
+                if attempt:
+                    self.pending_retries -= 1
+                return
+            self.retries += 1
+            if not attempt:
+                self.pending_retries += 1
+            cluster.sim.schedule(delay, self._submit, cluster, node_id,
+                                 payload, attempt + 1)
+            return
+        if attempt:
+            self.pending_retries -= 1
         self.submitted += 1
 
 
@@ -169,12 +227,17 @@ class ClosedLoopWorkload:
 
     def __init__(self, window: int = 4, start: float = 0.5,
                  messages_per_client: Optional[int] = None,
-                 payload_fn: Optional[Callable[[int, int], Any]] = None):
+                 payload_fn: Optional[Callable[[int, int], Any]] = None,
+                 backoff: Optional[BackoffPolicy] = None):
         self.window = window
         self.start = start
         self.messages_per_client = messages_per_client
         self.payload_fn = payload_fn or _default_payload
+        self.backoff = backoff or BackoffPolicy()
         self.submitted = 0
+        self.rejected_attempts = 0
+        self.gave_up = 0
+        self._backoff_rng: Optional[random.Random] = None
 
     def install(self, cluster) -> int:
         for node_id in cluster.node_ids():
@@ -197,5 +260,24 @@ class ClosedLoopWorkload:
                or index < self.messages_per_client):
             index += 1
             payload = self.payload_fn(node_id, client * 1_000_000 + index)
-            yield from rsm.broadcast(payload)
-            self.submitted += 1
+            # A closed-loop client is the textbook backpressure citizen:
+            # on rejection it sleeps out the backoff and re-offers the
+            # same command instead of issuing the next one.
+            attempt = 0
+            while True:
+                try:
+                    yield from rsm.broadcast(payload)
+                except OverloadError:
+                    self.rejected_attempts += 1
+                    if self._backoff_rng is None:
+                        self._backoff_rng = random.Random(
+                            f"flow-backoff:closed:{node_id}:{client}")
+                    delay = self.backoff.delay(attempt, self._backoff_rng)
+                    if delay is None:
+                        self.gave_up += 1
+                        break
+                    attempt += 1
+                    yield delay
+                    continue
+                self.submitted += 1
+                break

@@ -6,8 +6,8 @@ import json
 
 from repro.perf.harness import (compare_determinism,
                                 measure_storage_comparison, run_cell)
-from repro.perf.matrix import (PerfCell, default_matrix, smallest_cell,
-                               storage_comparison_cell)
+from repro.perf.matrix import (PerfCell, default_matrix, overload_cell,
+                               smallest_cell, storage_comparison_cell)
 from repro.perf.trajectory import (baseline_determinism, build_document,
                                    format_comparison_table,
                                    format_matrix_table,
@@ -35,6 +35,37 @@ class TestMatrix:
         cell = storage_comparison_cell()
         assert cell.protocol == "alternative"
         assert cell.rate_per_node >= 20  # high offered load: batching
+
+
+class TestOverloadCell:
+    def test_overload_cell_is_additive_not_an_edit(self):
+        # The 16 legacy cells are frozen: the overload cell must be a
+        # new name with flow set, and no legacy cell may carry flow.
+        cell = overload_cell()
+        assert cell.flow is not None
+        assert cell.name == "basic-n3-l00-overload"
+        legacy = default_matrix()
+        assert cell.name not in {c.name for c in legacy}
+        assert all(c.flow is None for c in legacy)
+        assert all("flow" not in c.params() for c in legacy)
+        assert cell.params()["flow"] == {"rate": 6.0, "burst": 6,
+                                         "max_unordered": 24}
+
+    def test_overload_cell_runs_deterministically_with_flow_metrics(self):
+        cell = overload_cell()
+        first = run_cell(cell)
+        second = run_cell(cell)
+        assert first.determinism == second.determinism
+        # The offered load exceeds the bucket: rejections must appear,
+        # and the flow keys must exist only on this cell.
+        assert first.determinism["flow_rejected"] > 0
+        assert first.determinism["flow_accepted"] > 0
+        assert first.determinism["messages_delivered"] == \
+            first.determinism["flow_accepted"]
+        legacy = run_cell(smallest_cell())
+        assert "flow_accepted" not in legacy.determinism
+        assert "flow_rejected" not in legacy.determinism
+        assert "unordered_high_water" not in legacy.determinism
 
 
 class TestDeterminism:

@@ -172,6 +172,51 @@ class TestWindow:
         assert link.backlog(1) == 0
 
 
+class TestBacklogBound:
+    def test_backlog_overflow_drops_newest_and_counts(self, sim):
+        config = StubbornConfig(window=2, max_backlog=3)
+        inner, channel, nodes, got, _ = build_pair(sim, config=config)
+        inner.blackhole = True
+        for k in range(10):
+            channel.send(0, 1, Note(f"m{k}"))
+        link = channel.link(0)
+        # Window full (2), backlog full (3), the other 5 dropped-newest.
+        assert link.in_flight(1) == 2
+        assert link.backlog(1) == 3
+        assert channel.metrics.queued == 3
+        assert channel.metrics.backlog_overflows == 5
+        assert channel.metrics.backlog_high_water == 3
+        inner.blackhole = False
+        sim.run(until=60)
+        # Exactly the non-dropped prefix arrives (retransmission jitter
+        # may reorder); the drops are ordinary fair-loss losses.
+        assert sorted(text for _, _, text in got) == \
+            [f"m{k}" for k in range(5)]
+        assert link.backlog(1) == 0
+
+    def test_high_water_never_exceeds_bound(self, sim):
+        config = StubbornConfig(window=1, max_backlog=2)
+        inner, channel, nodes, got, _ = build_pair(sim, config=config)
+        inner.blackhole = True
+        for wave in range(4):
+            for k in range(6):
+                channel.send(0, 1, Note(f"w{wave}-{k}"))
+        assert channel.metrics.backlog_high_water <= 2
+        assert channel.metrics.backlog_overflows == 4 * 6 - 1 - 2
+
+    def test_unbounded_mode_preserves_legacy_behaviour(self, sim):
+        config = StubbornConfig(window=2, max_backlog=None)
+        inner, channel, nodes, got, _ = build_pair(sim, config=config)
+        inner.blackhole = True
+        for k in range(50):
+            channel.send(0, 1, Note(f"m{k}"))
+        assert channel.link(0).backlog(1) == 48
+        assert channel.metrics.backlog_overflows == 0
+        inner.blackhole = False
+        sim.run(until=240)
+        assert len(got) == 50
+
+
 class TestBypassAndLoopback:
     def test_heartbeats_bypass_the_layer(self, sim):
         inner, channel, nodes, got, _ = build_pair(sim)
