@@ -28,17 +28,22 @@ from repro.analysis.baseline import (filter_baselined, load_baseline,
                                      write_baseline)
 from repro.analysis.diffs import changed_lines, filter_report
 from repro.analysis.lint import execute_lint, main
+from repro.analysis.msgflow import (MessageFlowGraph, build_msgflow,
+                                    build_msgflow_for_paths, write_msgflow)
 from repro.analysis.registry import Rule, RuleRegistry, default_registry
 from repro.analysis.reporters import format_json, format_sarif, format_text
 
 __all__ = [
     "Finding",
+    "MessageFlowGraph",
     "ModuleContext",
     "Report",
     "Rule",
     "RuleRegistry",
     "analyze_paths",
     "analyze_source",
+    "build_msgflow",
+    "build_msgflow_for_paths",
     "changed_lines",
     "default_registry",
     "execute_lint",
@@ -52,4 +57,5 @@ __all__ = [
     "main",
     "module_name_for_path",
     "write_baseline",
+    "write_msgflow",
 ]

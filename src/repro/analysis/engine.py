@@ -39,7 +39,14 @@ __all__ = ["Finding", "ModuleContext", "ProjectContext", "Report",
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s*\(\s*(?P<rules>[A-Za-z0-9_,\s]+)\s*\))?")
 
+#: The ``--`` justification that must follow a noqa (NOQ001's contract).
+_JUSTIFIED_RE = re.compile(r"\s*--\s*\S")
+
 _ALL_RULES = "*"
+#: Marker for an *unjustified* blanket noqa: suppresses everything
+#: except NOQ001, which must be able to flag the bare comment itself.
+_ALL_BUT_NOQA = "*-noqa"
+_NOQA_RULE_ID = "NOQ001"
 
 
 class Finding:
@@ -156,10 +163,17 @@ def _suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
             continue
         rules = match.group("rules")
         if rules is None:
-            table[number] = {_ALL_RULES}
+            selected = {_ALL_RULES}
         else:
-            table[number] = {part.strip().upper()
-                             for part in rules.split(",") if part.strip()}
+            selected = {part.strip().upper()
+                        for part in rules.split(",") if part.strip()}
+        if not _JUSTIFIED_RE.match(line[match.end():]):
+            # An unjustified noqa must not suppress NOQ001 — the rule
+            # that flags exactly this comment.
+            selected.discard(_NOQA_RULE_ID)
+            if _ALL_RULES in selected:
+                selected = (selected - {_ALL_RULES}) | {_ALL_BUT_NOQA}
+        table[number] = selected
     return table
 
 
@@ -198,7 +212,10 @@ def _live_filter(contexts: Sequence[ModuleContext]):
 
     def live(finding: Finding) -> bool:
         allowed = suppressed.get(finding.path, {}).get(finding.line, ())
-        return _ALL_RULES not in allowed and finding.rule_id not in allowed
+        if _ALL_RULES in allowed or finding.rule_id in allowed:
+            return False
+        return not (_ALL_BUT_NOQA in allowed and
+                    finding.rule_id != _NOQA_RULE_ID)
 
     return live
 

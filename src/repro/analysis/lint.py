@@ -67,6 +67,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                              "debt in FILE and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--emit-msgflow", metavar="FILE", default=None,
+                        dest="emit_msgflow",
+                        help="write the sender→type→handler message-flow "
+                             "graph to FILE (.dot → Graphviz, anything "
+                             "else → JSON) in addition to the report")
 
 
 def execute_lint(paths: List[str], output_format: str = "text",
@@ -74,13 +79,18 @@ def execute_lint(paths: List[str], output_format: str = "text",
                  diff_base: Optional[str] = None,
                  jobs: int = 1,
                  baseline_path: Optional[str] = None,
-                 write_baseline_path: Optional[str] = None) -> int:
+                 write_baseline_path: Optional[str] = None,
+                 emit_msgflow_path: Optional[str] = None) -> int:
     """Run the analyzer; print a report; return the process exit status."""
     registry = default_registry()
     if list_rules:
         print(format_rule_listing(registry.rules()))
         return 0
     report = analyze_paths(paths, jobs=jobs)
+    if emit_msgflow_path is not None:
+        from repro.analysis.msgflow import write_msgflow
+        graph = write_msgflow(paths, emit_msgflow_path)
+        print(f"msgflow: {graph.summary()} -> {emit_msgflow_path}")
     if diff_base is not None:
         report = filter_report(report, changed_lines(diff_base))
     if write_baseline_path is not None:
@@ -119,7 +129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return execute_lint(args.paths, args.output_format, args.list_rules,
                             args.diff, args.jobs, args.baseline,
-                            args.write_baseline)
+                            args.write_baseline, args.emit_msgflow)
     except AnalysisError as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
         return 2

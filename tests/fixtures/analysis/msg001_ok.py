@@ -1,0 +1,30 @@
+"""MSG001 near-miss fixture: the same send, but the tag is handled.
+
+Identical send path to ``msg001_bad.py``; the one difference is the
+``on_start`` registration for ``Ping.type``, which closes the flow
+(sender → ``fx.ping`` → ``Proto._on_ping``) and keeps MSG001 silent.
+"""
+
+
+class WireMessage:
+    type = "wire.base"
+
+
+class Ping(WireMessage):
+    type = "fx.ping"
+    fields = ("payload",)
+
+    def __init__(self, payload):
+        self.payload = payload
+
+
+class Proto:
+
+    def on_start(self):
+        self.endpoint.register(Ping.type, self._on_ping)
+
+    def _on_ping(self, msg, sender):
+        self.last = msg.payload
+
+    def poke(self):
+        self.endpoint.send(1, Ping("x"))

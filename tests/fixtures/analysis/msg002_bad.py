@@ -1,0 +1,16 @@
+"""MSG002 negative fixture: a handler is registered for a tag that no
+code ever sends or constructs.
+
+``"fx.orphan"`` has a registration (the receive side) but no message
+class construction or transport send anywhere: the handler is
+unreachable.  Flagged at the registration line.
+"""
+
+
+class Proto:
+
+    def on_start(self):
+        self.endpoint.register("fx.orphan", self._on_orphan)
+
+    def _on_orphan(self, msg, sender):
+        self.last = msg

@@ -1,0 +1,30 @@
+"""MSG002 near-miss fixture: the registered tag has a live send path.
+
+Same string-literal registration as ``msg002_bad.py``, but ``Orphan``
+(whose ``type`` is the registered tag) is constructed and sent, so the
+receive path is reachable and MSG002 stays silent.
+"""
+
+
+class WireMessage:
+    type = "wire.base"
+
+
+class Orphan(WireMessage):
+    type = "fx.orphan"
+    fields = ("body",)
+
+    def __init__(self, body):
+        self.body = body
+
+
+class Proto:
+
+    def on_start(self):
+        self.endpoint.register("fx.orphan", self._on_orphan)
+
+    def _on_orphan(self, msg, sender):
+        self.last = msg.body
+
+    def emit(self):
+        self.endpoint.send(2, Orphan("b"))

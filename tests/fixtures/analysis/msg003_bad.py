@@ -1,0 +1,32 @@
+"""MSG003 negative fixture: a handler reads a payload field no
+constructor populates.
+
+``Report`` carries ``count`` (declared wire field, ``__init__``
+assignment); the handler also reads ``msg.weight``, which nothing ever
+sets — an AttributeError on the first delivery.  Flagged at the
+``msg.weight`` read.
+"""
+
+
+class WireMessage:
+    type = "wire.base"
+
+
+class Report(WireMessage):
+    type = "fx.report"
+    fields = ("count",)
+
+    def __init__(self, count):
+        self.count = count
+
+
+class Proto:
+
+    def on_start(self):
+        self.endpoint.register(Report.type, self._on_report)
+
+    def emit(self):
+        self.endpoint.send(1, Report(3))
+
+    def _on_report(self, msg, sender):
+        self.total = msg.count + msg.weight

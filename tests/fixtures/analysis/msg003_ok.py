@@ -1,0 +1,37 @@
+"""MSG003 near-miss fixture: the handler reads only populated surface.
+
+Every attribute the handler touches is sanctioned: a declared wire
+field/``__init__`` assignment (``count``), an ``__init__`` keyword
+parameter (``origin``), a class-body default (``priority``), and a
+method (``scaled``).  MSG003 stays silent.
+"""
+
+
+class WireMessage:
+    type = "wire.base"
+
+
+class Report(WireMessage):
+    type = "fx.report"
+    fields = ("count",)
+    priority = 0
+
+    def __init__(self, count, origin=None):
+        self.count = count
+        self.origin = origin
+
+    def scaled(self, factor):
+        return self.count * factor
+
+
+class Proto:
+
+    def on_start(self):
+        self.endpoint.register(Report.type, self._on_report)
+
+    def emit(self):
+        self.endpoint.send(1, Report(3, origin=0))
+
+    def _on_report(self, msg, sender):
+        self.total = msg.scaled(2) + msg.priority
+        self.source = msg.origin

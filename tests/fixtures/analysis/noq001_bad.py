@@ -1,0 +1,15 @@
+"""NOQ001 negative fixture: suppressions with no justification.
+
+A rule-specific noqa and a bare noqa, neither carrying the ``--
+<reason>`` tail.  Both are flagged; neither silences NOQ001 itself.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: noqa(DET001)
+
+
+def stamp_again():
+    return time.time()  # repro: noqa

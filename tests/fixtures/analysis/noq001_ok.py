@@ -1,0 +1,15 @@
+"""NOQ001 near-miss fixture: every suppression says why.
+
+The same two suppression shapes as ``noq001_bad.py``, each with a
+``-- <reason>`` tail recording the sanctioned boundary.  NOQ001 stays
+silent (and the suppressions work as usual).
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: noqa(DET001) -- wall-clock label for the report header, outside the sim
+
+def stamp_again():
+    return time.time()  # repro: noqa -- fixture: every rule sanctioned on this line

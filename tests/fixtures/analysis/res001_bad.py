@@ -1,0 +1,21 @@
+"""RES001 negative fixture: receive-path growth with no bound anywhere.
+
+``_on_data`` grows two containers per message — a dict keyed by message
+id and a set of seen ids — and the class has no eviction, no ``maxlen``
+and no bound check.  Memory scales with traffic.  Flagged at both
+growth sites.
+"""
+
+
+class Proto:
+
+    def __init__(self):
+        self.backlog = {}
+        self.seen = set()
+
+    def on_start(self):
+        self.endpoint.register("fx.data", self._on_data)
+
+    def _on_data(self, msg, sender):
+        self.backlog[msg.id] = msg
+        self.seen.add(msg.id)

@@ -1,0 +1,34 @@
+"""RES001 near-miss fixture: every accumulation is bounded somehow.
+
+Four sanctioned shapes on the same receive path: a ``deque(maxlen=...)``
+ring, a dict guarded by a reachable ``len() >= cap`` check, a peer-keyed
+map (bounded by the membership, not a counter), and a list with an
+eviction elsewhere in the class.  RES001 stays silent on all of them.
+"""
+
+from collections import deque
+
+
+class Proto:
+
+    def __init__(self):
+        self.ring = deque(maxlen=64)
+        self.backlog = {}
+        self.last_seen = {}
+        self.window = []
+        self.max_backlog = 128
+
+    def on_start(self):
+        self.endpoint.register("fx.data", self._on_data)
+
+    def _on_data(self, msg, sender):
+        self.ring.append(msg)
+        self.last_seen[sender] = msg.id
+        if len(self.backlog) >= self.max_backlog:
+            return
+        self.backlog[msg.id] = msg
+        self.window.append(msg.id)
+
+    def drain(self):
+        while self.window:
+            self.window.pop()

@@ -1,0 +1,18 @@
+"""RES002 negative fixture: blocking calls inside async code.
+
+Three loop-stalling shapes in one coroutine: ``time.sleep``, sync
+``open()``, and ``subprocess.run``.  Each freezes every component
+multiplexed on the LiveRuntime event loop.  Flagged at all three call
+sites.
+"""
+
+import subprocess
+import time
+
+
+async def poll_disk(path):
+    time.sleep(0.1)
+    with open(path) as handle:
+        data = handle.read()
+    subprocess.run(["sync"], check=False)
+    return data

@@ -1,0 +1,18 @@
+"""RES002 near-miss fixture: async-safe equivalents and sync contexts.
+
+The coroutine awaits ``asyncio.sleep`` and pushes the file read into an
+executor; the sync helper may use ``open()`` freely because it only ever
+runs *in* that executor thread, not on the loop.  RES002 stays silent.
+"""
+
+import asyncio
+
+
+async def poll_disk(loop, path):
+    await asyncio.sleep(0.1)
+    return await loop.run_in_executor(None, read_file, path)
+
+
+def read_file(path):
+    with open(path) as handle:
+        return handle.read()

@@ -1,0 +1,13 @@
+"""RES003 negative fixture: a loop of bare durable writes.
+
+Each ``storage.log`` iteration is a separate durable commit — one
+logical state change turned into O(n) disk round-trips.  Flagged at the
+write call inside the loop.
+"""
+
+
+class Proto:
+
+    def flush(self, entries):
+        for key, value in entries:
+            self.node.storage.log(key, value)

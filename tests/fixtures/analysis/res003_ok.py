@@ -1,0 +1,17 @@
+"""RES003 near-miss fixture: the loop is group-committed.
+
+The same per-entry writes, but wrapped in ``write_barrier()`` — the
+barrier turns the loop into one durable commit.  A single write outside
+any loop is also fine.  RES003 stays silent.
+"""
+
+
+class Proto:
+
+    def flush(self, entries):
+        with self.node.storage.write_barrier():
+            for key, value in entries:
+                self.node.storage.log(key, value)
+
+    def log_once(self, key, value):
+        self.node.storage.log(key, value)

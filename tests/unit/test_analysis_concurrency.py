@@ -105,7 +105,11 @@ def test_ali001_near_miss_factory_and_copied_send_stay_silent():
 # -- ALI002: stashed message payload ------------------------------------------
 
 def test_ali002_flags_uncopied_stash_of_unknown_payload():
-    findings = check_fixture("ali002_bad.py", "repro.core.fixture")
+    # The fixture's "peer.view" handler has (by design) no matching send,
+    # so MSG002 also fires on it; this test owns the ALI family only.
+    findings = [f for f in check_fixture("ali002_bad.py",
+                                         "repro.core.fixture")
+                if f.rule_id.startswith("ALI")]
     assert rule_ids(findings) == ["ALI002"]
     assert findings[0].line == 17  # self.view = msg.members
     assert ".members" in findings[0].message

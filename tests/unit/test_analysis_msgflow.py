@@ -1,0 +1,241 @@
+"""Tests for the whole-program message-flow graph (``msgflow``).
+
+Two layers: synthetic-source unit tests for each send/handler resolution
+shape (constructor, local, factory, opaque, dynamic tag, f-string
+pattern), and full-tree tests asserting the graph covers every protocol
+the repo implements — all five broadcast/consensus stacks, the
+failure-detector and stubborn-link plumbing, and the membership layer's
+kind-string reconfig dispatch.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import ModuleContext, ProjectContext
+from repro.analysis.msgflow import (build_msgflow, build_msgflow_for_paths,
+                                    render_msgflow, write_msgflow)
+
+SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                   os.pardir, os.pardir, "src", "repro")
+
+
+def graph_of(extra: str = "", module: str = "repro.core.fixture"):
+    # BASE and the snippet carry different literal indentation; dedent
+    # each before concatenating or the snippet nests inside BASE.
+    text = textwrap.dedent(BASE) + textwrap.dedent(extra)
+    ctx = ModuleContext(module, "fixture.py", ast.parse(text), text)
+    return build_msgflow(ProjectContext([ctx]))
+
+
+BASE = """
+    class WireMessage:
+        type = "wire.base"
+
+    class Ping(WireMessage):
+        type = "fx.ping"
+        fields = ("payload",)
+
+        def __init__(self, payload):
+            self.payload = payload
+
+        @classmethod
+        def wrap(cls, payload):
+            return cls(payload)
+"""
+
+
+class TestSendResolution:
+    def test_inline_constructor(self):
+        graph = graph_of("""
+            class Proto:
+                def poke(self):
+                    self.endpoint.send(1, Ping("x"))
+        """)
+        edge, = graph.senders_for("fx.ping")
+        assert edge.resolved == "constructor"
+        assert edge.sender == "Proto.poke"
+        assert edge.op == "send"
+
+    def test_local_assigned_from_constructor(self):
+        graph = graph_of("""
+            class Proto:
+                def poke(self):
+                    note = Ping("x")
+                    self.endpoint.multisend(note)
+        """)
+        edge, = graph.senders_for("fx.ping")
+        assert edge.resolved == "local"
+        assert edge.op == "multisend"
+
+    def test_classmethod_factory(self):
+        graph = graph_of("""
+            class Proto:
+                def poke(self):
+                    self.channel.inner.send(0, 1, Ping.wrap("x"))
+        """)
+        edge, = graph.senders_for("fx.ping")
+        assert edge.resolved == "factory"
+
+    def test_forwarded_parameter_is_opaque(self):
+        graph = graph_of("""
+            class Proto:
+                def forward(self, message):
+                    self.endpoint.send(1, message)
+        """)
+        assert graph.senders_for("fx.ping") == []
+        edge, = graph.sends
+        assert edge.resolved == "opaque"
+        assert edge.tag is None
+
+    def test_dynamic_tag_class(self):
+        graph = graph_of("""
+            class Scoped(WireMessage):
+                def __init__(self, scope, inner):
+                    self.type = scope + "::" + inner.type
+                    self.inner = inner
+
+            class Proto:
+                def poke(self):
+                    self.endpoint.send(1, Scoped("s", Ping("x")))
+        """)
+        assert [m.class_name for m in graph.dynamic_messages] == ["Scoped"]
+        dynamic = [e for e in graph.sends if e.resolved == "dynamic"]
+        assert len(dynamic) == 1
+        assert dynamic[0].class_name == "Scoped"
+
+
+class TestHandlerResolution:
+    def test_type_attribute_registration(self):
+        graph = graph_of("""
+            class Proto:
+                def on_start(self):
+                    self.endpoint.register(Ping.type, self._on_ping)
+
+                def _on_ping(self, msg, sender):
+                    pass
+        """)
+        edge, = graph.handlers_for("fx.ping")
+        assert edge.handler == "Proto._on_ping"
+        assert edge.handler_method == "_on_ping"
+        assert edge.registrar_qualname == "repro.core.fixture.Proto"
+
+    def test_string_literal_registration(self):
+        graph = graph_of("""
+            class Proto:
+                def on_start(self):
+                    self.node.register_handler("fx.ping", self._on_ping)
+
+                def _on_ping(self, msg, sender):
+                    pass
+        """)
+        edge, = graph.handlers_for("fx.ping")
+        assert edge.via == "register_handler"
+        assert edge.class_name == "Ping"
+
+    def test_fstring_registration_becomes_pattern(self):
+        graph = graph_of("""
+            class Proto:
+                def attach(self, msg_type, handler):
+                    self.endpoint.register(
+                        f"{self.scope}::{msg_type}", handler)
+        """)
+        assert graph.handled_tags() == frozenset()
+        pattern, = [e for e in graph.handlers if e.pattern is not None]
+        assert pattern.pattern == "{*}::{*}"
+        assert graph.has_dynamic_registrations()
+
+    def test_subscribe_queue_registration(self):
+        graph = graph_of("""
+            class Proto:
+                def on_start(self):
+                    self.queue = self.endpoint.subscribe_queue("fx.ping")
+        """)
+        edge, = graph.handlers_for("fx.ping")
+        assert edge.handler == "ReceiveQueue.deposit"
+        assert edge.via == "subscribe_queue"
+
+    def test_graph_is_cached_on_the_project(self):
+        text = textwrap.dedent(BASE)
+        ctx = ModuleContext("repro.core.fixture", "fixture.py",
+                            ast.parse(text), text)
+        project = ProjectContext([ctx])
+        assert build_msgflow(project) is build_msgflow(project)
+
+
+class TestFullTreeGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_msgflow_for_paths([SRC])
+
+    def test_covers_all_five_protocols_and_plumbing(self, graph):
+        tags = set(graph.messages)
+        # basic/gossip AB, Paxos, Chandra-Toueg, quorum replication,
+        # multigroup multicast, sequencer baseline, failure detector,
+        # stubborn link.
+        assert {"ab.gossip", "ab.state", "paxos.prepare", "paxos.accept",
+                "ct.estimate", "ct.decide", "qr.query", "qr.store",
+                "mg.announce", "seq.forward", "fd.alive",
+                "stub.data"} <= tags
+
+    def test_every_static_tag_is_handled(self, graph):
+        # The tree lints MSG001/MSG002-clean, and the graph agrees:
+        # every sent tag has a handler and every handled tag a producer.
+        sent = graph.sent_tags()
+        alive = sent | graph.constructed_tags()
+        handled = graph.handled_tags()
+        assert sent <= handled
+        assert handled <= alive
+
+    def test_multigroup_announce_resolves(self, graph):
+        handlers = graph.handlers_for("mg.announce")
+        assert [e.handler for e in handlers] == \
+            ["MultiGroupMulticast._on_announce"]
+        senders = {e.sender for e in graph.senders_for("mg.announce")}
+        assert "MultiGroupMulticast._announce_once" in senders
+
+    def test_membership_reconfig_commands_resolve(self, graph):
+        assert set(graph.commands) == {"join", "leave", "evict"}
+        for op, parts in graph.commands.items():
+            producers = {site.module for site in parts["producers"]}
+            consumers = {site.module for site in parts["consumers"]}
+            assert producers, op
+            assert "repro.membership.manager" in consumers, op
+
+    def test_scoped_message_is_dynamic_with_pattern_registration(self,
+                                                                 graph):
+        assert "ScopedMessage" in \
+            [m.class_name for m in graph.dynamic_messages]
+        assert graph.has_dynamic_registrations()
+
+
+class TestEmission:
+    def test_write_json_artifact(self, tmp_path):
+        out = tmp_path / "msgflow.json"
+        graph = write_msgflow([SRC], str(out))
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert set(data) == {"messages", "dynamic_messages", "sends",
+                             "constructions", "handlers", "commands"}
+        assert len(data["messages"]) == len(graph.messages)
+        tags = {record["tag"] for record in data["messages"]}
+        assert "ab.gossip" in tags
+        assert {"join", "leave", "evict"} <= set(data["commands"])
+
+    def test_write_dot_artifact(self, tmp_path):
+        out = tmp_path / "msgflow.dot"
+        write_msgflow([SRC], str(out))
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("digraph msgflow {")
+        assert text.rstrip().endswith("}")
+        assert '"msg:ab.gossip"' in text
+        assert '"cmd:reconfig:join"' in text
+
+    def test_render_defaults_to_json(self):
+        graph = graph_of()
+        assert render_msgflow(graph, "out.json").startswith("{")
+        assert render_msgflow(graph, "out.dot").startswith("digraph")

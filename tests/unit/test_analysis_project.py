@@ -67,7 +67,10 @@ def test_rec001_flags_write_never_recovered():
 def test_rec001_near_miss_lazy_handler_read_stays_silent():
     # The read-back sits in a handler that on_start merely *registers*;
     # the recovery closure must follow the address-taken reference.
-    assert check_fixture("rec001_ok.py", "repro.core.fixture") == []
+    # (The fixture's "view" registration has no matching send, so MSG002
+    # fires on it; this test owns the REC family only.)
+    assert [f for f in check_fixture("rec001_ok.py", "repro.core.fixture")
+            if f.rule_id.startswith("REC")] == []
 
 
 # -- REC002: phantom recovery reads -------------------------------------------

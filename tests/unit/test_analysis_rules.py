@@ -281,7 +281,8 @@ def test_wal_helper_barrier_and_mutator_calls():
 def test_wal_suppression():
     suppressed = WAL_BAD.replace(
         "self.endpoint.send(sender, (\"promise\", msg.ballot))",
-        "self.endpoint.send(sender, msg.ballot)  # repro: noqa(WAL001)")
+        "self.endpoint.send(sender, msg.ballot)"
+        "  # repro: noqa(WAL001) -- suppression syntax under test")
     assert check(suppressed, module=CORE_MODULE) == []
 
 
@@ -343,7 +344,8 @@ def test_raw_send_out_of_scope_package():
 
 def test_raw_send_suppressed():
     suppressed = RAW_SEND.replace(
-        '"msg")', '"msg")  # repro: noqa(WAL002)')
+        '"msg")',
+        '"msg")  # repro: noqa(WAL002) -- suppression syntax under test')
     assert check(suppressed, module=CORE_MODULE) == []
 
 
@@ -450,12 +452,22 @@ def test_yield_of_wait_request_is_clean():
 
 # -- suppression syntax -------------------------------------------------------
 
-def test_bare_noqa_suppresses_everything():
+def test_bare_noqa_suppresses_everything_but_the_hygiene_rule():
     findings = check("""
         import time
 
         def stamp():
             return time.time()  # repro: noqa
+    """)
+    assert rule_ids(findings) == ["NOQ001"]
+
+
+def test_justified_bare_noqa_suppresses_everything():
+    findings = check("""
+        import time
+
+        def stamp():
+            return time.time()  # repro: noqa -- fixture: wall clock wanted
     """)
     assert findings == []
 
@@ -465,7 +477,7 @@ def test_noqa_for_other_rule_does_not_suppress():
         import time
 
         def stamp():
-            return time.time()  # repro: noqa(DET004)
+            return time.time()  # repro: noqa(DET004) -- wrong-rule fixture
     """)
     assert rule_ids(findings) == ["DET001"]
 
@@ -476,7 +488,7 @@ def test_noqa_multiple_rules():
         import random
 
         def stamp():
-            return time.time() + random.random()  # repro: noqa(DET001, DET004)
+            return time.time() + random.random()  # repro: noqa(DET001, DET004) -- fixture: both rules sanctioned
     """)
     assert findings == []
 

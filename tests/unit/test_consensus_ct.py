@@ -121,3 +121,38 @@ class TestChandraToueg:
             cluster.consensuses[i].propose(0, frozenset({f"v{i}"}))
         cluster.run(until=20.0)
         assert cluster.consensuses[0].decided_value(0) is not None
+
+
+class TestInstanceGC:
+    """Decided instances must not pin their round bookkeeping forever."""
+
+    def test_decided_instance_state_garbage_collected(self):
+        cluster = CTCluster(n=3).start()
+        for i in range(3):
+            cluster.consensuses[i].propose(0, frozenset({"v"}))
+        cluster.run(until=20.0)
+        for i in range(3):
+            consensus = cluster.consensuses[i]
+            assert consensus.decided_value(0) is not None
+            # Round state (estimates/acks/nacks per round) is dropped...
+            assert 0 not in consensus._instances
+            # ...and the driver observed the decision and exited rather
+            # than hanging on the now-orphaned round signal.
+            assert 0 not in consensus._drivers
+
+    def test_late_round_traffic_does_not_resurrect_decided_instance(self):
+        from repro.consensus.chandra_toueg import (CTAck, CTEstimate,
+                                                   CTNack, CTPropose)
+        cluster = CTCluster(n=3).start()
+        for i in range(3):
+            cluster.consensuses[i].propose(0, frozenset({"v"}))
+        cluster.run(until=20.0)
+        consensus = cluster.consensuses[0]
+        assert 0 not in consensus._instances
+        # Straggler round messages for the decided instance arrive late.
+        consensus._on_estimate(CTEstimate(0, 7, frozenset({"w"}), 0), 1)
+        consensus._on_propose(CTPropose(0, 7, frozenset({"w"})), 1)
+        consensus._on_ack(CTAck(0, 7), 1)
+        consensus._on_nack(CTNack(0, 7), 2)
+        assert 0 not in consensus._instances
+        assert consensus.decided_value(0) == frozenset({"v"})

@@ -194,6 +194,18 @@ class TestCrashRecovery:
         assert not any(key.startswith("paxos/0/") for key in storage.keys())
         assert not any(key.startswith("paxos/1/") for key in storage.keys())
 
+    def test_gc_drops_decision_signal_cache(self, mini_cluster):
+        # The volatile decision-signal cache must follow the instance
+        # floor like the proposal/decision maps do, or it grows with the
+        # full instance history.
+        cluster = mini_cluster(n=3).start()
+        consensus = cluster.consensuses[0]
+        for k in range(4):
+            consensus.decision_signal(k)
+        assert set(consensus._decided_signal) == {0, 1, 2, 3}
+        consensus.discard_instances_below(2)
+        assert set(consensus._decided_signal) == {2, 3}
+
     def test_wait_decided_generator(self, mini_cluster):
         cluster = mini_cluster(n=3).start()
         results = []

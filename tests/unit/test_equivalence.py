@@ -111,3 +111,39 @@ class TestConsensusFromAbcast:
                                    for i in range(3)])
         sim.run(until=20.0)
         assert reductions[0].decided_value(0) in {"v0", "v1", "v2"}
+
+
+class TestSignalLifecycle:
+    def test_decision_releases_waiter_signal(self):
+        sim, nodes, reductions = build(seed=4)
+        results = []
+
+        def waiter():
+            value = yield from reductions[0].wait_decided(0)
+            results.append(value)
+
+        nodes[0].spawn(waiter(), "waiter")
+        for i in range(3):
+            sim.schedule(0.5, reductions[i].propose, 0, "w")
+        sim.run(until=30.0)
+        assert results == ["w"]
+        # The per-instance signal is handed to its waiters and released
+        # on decision: the cache must not grow with the instance history.
+        assert 0 not in reductions[0]._signals
+
+    def test_wait_after_decision_returns_without_new_signal(self):
+        sim, nodes, reductions = build(seed=5)
+        for i in range(3):
+            sim.schedule(0.5, reductions[i].propose, 0, "w")
+        sim.run(until=30.0)
+        assert reductions[0].decided_value(0) == "w"
+        results = []
+
+        def late_waiter():
+            value = yield from reductions[0].wait_decided(0)
+            results.append(value)
+
+        nodes[0].spawn(late_waiter(), "late-waiter")
+        sim.run(until=31.0)
+        assert results == ["w"]
+        assert 0 not in reductions[0]._signals
