@@ -24,13 +24,19 @@ import argparse
 import sys
 
 from repro.perf.harness import (compare_determinism,
-                                measure_storage_comparison, run_matrix)
-from repro.perf.matrix import default_matrix, overload_cell, smallest_cell
+                                measure_codec_comparison,
+                                measure_group_commit_comparison,
+                                measure_storage_comparison,
+                                measure_wire_comparison, run_matrix)
+from repro.perf.matrix import (default_matrix, overload_cell, scaled_cells,
+                               smallest_cell)
 from repro.perf.trajectory import (baseline_determinism, build_document,
                                    format_comparison_table,
                                    format_matrix_table,
-                                   format_trajectory_table, load_documents,
-                                   summarize_drift, write_document)
+                                   format_trajectory_table,
+                                   format_wire_comparison_table,
+                                   load_documents, summarize_drift,
+                                   write_document)
 
 
 def main(argv=None) -> int:
@@ -57,6 +63,14 @@ def main(argv=None) -> int:
                         help="append the admission-control cell to the "
                              "run (its flow_* metrics exist only there; "
                              "the 16 legacy cells are unaffected)")
+    parser.add_argument("--scaled", action="store_true",
+                        help="append the scale-stress cells (25 nodes, "
+                             "10x rate) to the run")
+    parser.add_argument("--wire-compare", action="store_true",
+                        help="run and record the binary-wire-path "
+                             "before/after comparisons (live burst over "
+                             "localhost UDP, codec pipeline, storage "
+                             "group commit)")
     parser.add_argument("--trajectory", default=None, metavar="CELL",
                         help="print CELL's metrics across all committed "
                              "BENCH_*.json files and exit")
@@ -71,13 +85,21 @@ def main(argv=None) -> int:
     else:
         cells = default_matrix()
         if args.cells:
-            cells = [cell for cell in cells if cell.name in set(args.cells)]
-            missing = set(args.cells) - {cell.name for cell in cells}
+            # --cells selects from the whole cell universe, so the CI
+            # drift gate can name the overload and scale-stress cells
+            # without pulling in the full matrix.
+            known = default_matrix() + [overload_cell()] + scaled_cells()
+            wanted = set(args.cells)
+            cells = [cell for cell in known if cell.name in wanted]
+            missing = wanted - {cell.name for cell in cells}
             if missing:
                 parser.error(f"unknown cells: {sorted(missing)} "
-                             f"(known: {[c.name for c in default_matrix()]})")
+                             f"(known: {[c.name for c in known]})")
     if args.overload:
         cells = cells + [overload_cell()]
+    if args.scaled:
+        cells = cells + [cell for cell in scaled_cells()
+                         if cell.name not in {c.name for c in cells}]
 
     print(f"running {len(cells)} cell(s), {args.repeat} repetition(s)...")
     results = run_matrix(cells)
@@ -101,6 +123,17 @@ def main(argv=None) -> int:
         comparison = measure_storage_comparison()
         print(format_comparison_table(comparison))
 
+    wire_comparisons = None
+    if args.wire_compare:
+        print("measuring binary wire path (live burst, codec, "
+              "group commit)...")
+        wire_comparisons = {
+            "live": measure_wire_comparison(count=1500),
+            "codec": measure_codec_comparison(),
+            "group_commit": measure_group_commit_comparison(),
+        }
+        print(format_wire_comparison_table(wire_comparisons))
+
     exit_code = 0
     if args.check is not None:
         import json
@@ -117,7 +150,8 @@ def main(argv=None) -> int:
         output = f"BENCH_{args.label}.json"
     if output is not None:
         label = args.label or "unlabelled"
-        write_document(build_document(label, results, comparison), output)
+        write_document(build_document(label, results, comparison,
+                                      wire_comparisons), output)
         print(f"wrote {output}")
     return exit_code
 

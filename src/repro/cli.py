@@ -144,6 +144,16 @@ def build_parser() -> argparse.ArgumentParser:
                      "write-ahead-logging, sim-coroutine rules)")
     add_lint_arguments(lint)
 
+    wirefuzz = commands.add_parser(
+        "wirefuzz", help="seeded fuzz of the wire codec: cross-version "
+                         "round-trips for every registered message class "
+                         "plus adversarial datagrams that must fail only "
+                         "with WireCodecError")
+    wirefuzz.add_argument("--iterations", type=int, default=500,
+                          help="round-trip iterations (adversarial "
+                               "decodes run 4x this)")
+    wirefuzz.add_argument("--seed", type=int, default=0)
+
     commands.add_parser("info", help="list protocols and experiments")
     return parser
 
@@ -400,6 +410,15 @@ def _compare(args) -> int:
     return 0
 
 
+def _wirefuzz(args) -> int:
+    from repro.runtime.wirefuzz import run_fuzz
+    report = run_fuzz(args.iterations, seed=args.seed)
+    print(report.summary())
+    for suite, sub_seed, description in report.defects:
+        print(f"  [{suite}] seed={sub_seed}: {description}")
+    return 0 if report.ok else 1
+
+
 def _info() -> int:
     print("protocols:")
     descriptions = {
@@ -441,6 +460,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 args.list_rules, args.diff, args.jobs,
                                 args.baseline, args.write_baseline,
                                 args.emit_msgflow)
+        if args.command == "wirefuzz":
+            return _wirefuzz(args)
         return _info()
     except ReproError as exc:
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)

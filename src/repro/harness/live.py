@@ -41,7 +41,7 @@ from repro.runtime import Node
 from repro.runtime.live import LiveRuntime
 from repro.runtime.live_net import LiveNetwork
 from repro.storage.file import FileStorage
-from repro.transport.stubborn import StubbornChannel
+from repro.transport.stubborn import StubbornChannel, StubbornConfig
 
 __all__ = ["LiveCluster"]
 
@@ -73,10 +73,17 @@ class LiveCluster:
             loss_rate=config.network.loss_rate,
             duplicate_rate=config.network.duplicate_rate,
             max_send_buffer=(config.flow.max_send_buffer
-                             if config.flow is not None else None))
+                             if config.flow is not None else None),
+            wire_config=config.wire)
         # UDP is a real fair-loss channel, so the stubborn retransmission
         # layer is on by default here (config.stubborn=False disables it).
         stubborn_config = config.resolve_stubborn(default_on=True)
+        if stubborn_config is not None and \
+                not isinstance(config.stubborn, StubbornConfig):
+            # Default live tuning: batch same-turn envelopes and piggyback
+            # acks, pairing with the transport's datagram coalescing.  An
+            # explicit StubbornConfig is honoured verbatim.
+            stubborn_config.coalesce = True
         self.stubborn = None
         self.medium: Any = self.network
         if stubborn_config is not None:
@@ -105,8 +112,8 @@ class LiveCluster:
                 node_id, FlowController(node_id, self.config.flow))
         node, abcast, consensus, rsm, view_manager = build_node_stack(
             self.runtime, self.medium, self.config, self.collector,
-            node_id, FileStorage(self._node_dir(node_id)), view=view,
-            joining=joining, flow=flow)
+            node_id, FileStorage(self._node_dir(node_id), group_commit=True),
+            view=view, joining=joining, flow=flow)
         if consensus is not None:
             self.consensuses[node_id] = consensus
         self.nodes[node_id] = node
@@ -191,7 +198,8 @@ class LiveCluster:
         self.network.close(node_id)
         # Drop the in-process storage object; recovery gets a fresh
         # handle over the same directory and must replay from disk.
-        self.nodes[node_id].storage = FileStorage(self._node_dir(node_id))
+        self.nodes[node_id].storage = FileStorage(
+            self._node_dir(node_id), group_commit=True)
 
     def restart(self, node_id: int) -> None:
         """Restart a killed node: new socket, recovery from on-disk logs."""

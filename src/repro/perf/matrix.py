@@ -21,8 +21,8 @@ from repro.storage.memory import MemoryStorage
 from repro.transport.network import NetworkConfig
 from repro.workloads.generators import PoissonWorkload
 
-__all__ = ["PerfCell", "default_matrix", "overload_cell", "smallest_cell",
-           "storage_comparison_cell"]
+__all__ = ["PerfCell", "default_matrix", "overload_cell", "scaled_cells",
+           "smallest_cell", "storage_comparison_cell"]
 
 # One fixed seed root for the whole matrix; per-cell seeds derive from
 # the cell's position so cells stay independent but reproducible.
@@ -38,7 +38,8 @@ class PerfCell:
                  workload_duration: float = 8.0,
                  duration: float = 12.0,
                  settle_limit: float = 240.0,
-                 flow: Optional[FlowConfig] = None):
+                 flow: Optional[FlowConfig] = None,
+                 suffix: str = ""):
         self.protocol = protocol
         self.n = n
         self.loss_rate = loss_rate
@@ -51,13 +52,16 @@ class PerfCell:
         # Admission control; None on every legacy cell (the 16 frozen
         # cells predate the flow layer and must stay byte-identical).
         self.flow = flow
+        # Name disambiguator for cells that vary an axis the name does
+        # not encode (e.g. the 10x-rate cell); empty on legacy cells.
+        self.suffix = suffix
 
     @property
     def name(self) -> str:
         loss = f"l{int(self.loss_rate * 100):02d}"
         mood = "overload" if self.flow is not None \
             else ("chaos" if self.chaos else "quiet")
-        return f"{self.protocol}-n{self.n}-{loss}-{mood}"
+        return f"{self.protocol}-n{self.n}-{loss}-{mood}{self.suffix}"
 
     def params(self) -> Dict[str, object]:
         """The frozen cell definition, as recorded in BENCH files."""
@@ -138,6 +142,20 @@ def overload_cell() -> PerfCell:
                     rate_per_node=24.0, workload_duration=6.0,
                     duration=10.0, settle_limit=240.0,
                     flow=FlowConfig(rate=6.0, burst=6, max_unordered=24))
+
+
+def scaled_cells() -> List[PerfCell]:
+    """Scale-stress cells beyond the legacy grid: a 25-node cluster and
+    a 10x submission rate.  New cells with fresh seeds — the 16 legacy
+    cells and the overload cell stay frozen."""
+    return [
+        PerfCell("basic", 25, 0.0, chaos=False, seed=_SEED_ROOT + 200,
+                 rate_per_node=2.0, workload_duration=6.0, duration=10.0,
+                 settle_limit=240.0),
+        PerfCell("basic", 3, 0.0, chaos=False, seed=_SEED_ROOT + 201,
+                 rate_per_node=60.0, workload_duration=8.0, duration=12.0,
+                 settle_limit=240.0, suffix="-rate10x"),
+    ]
 
 
 def storage_comparison_cell() -> PerfCell:

@@ -21,15 +21,35 @@ Killing and restarting a node re-binds a *fresh* socket on a new
 ephemeral port; the shared port map is updated so peers reach the
 recovered process, emulating a process restart without fixed port
 assignments.
+
+**Datagram coalescing** (wire v2): messages are encoded as
+length-prefixed binary frames (:func:`repro.runtime.wire.encode_frame`)
+and buffered per ``(src, dst)`` pair; the buffer flushes as one datagram
+when it would exceed ``max_frame_bytes`` or on the next event-loop turn
+(``flush_delay=0``), so every message a single callback emits — a
+``multisend``, a protocol round's fan-out, a stubborn batch plus its
+piggybacked acks — shares one ``sendto`` system call and one receive
+wakeup instead of paying per message.  Frames buffered by a node that
+crashes before its flush are dropped with the rest of its volatile
+state.  ``wire_version=1`` keeps the original one-JSON-datagram-per-
+message path for honest A/B comparison; decoding accepts both versions
+either way.
+
+**Datagram size guard**: an encoded frame larger than
+``max_datagram_bytes`` (default 65507, the UDP/IPv4 payload limit) is
+counted (``oversize_drops``) and surfaced to the caller as a typed
+:class:`OversizeDatagramError` *before* the send path touches the
+socket — previously ``transport.sendto`` raised a raw ``OSError`` from
+inside asyncio's datagram plumbing.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 from repro.runtime import wire
 from repro.runtime.live import LiveRuntime
 from repro.runtime.node import Node
@@ -37,7 +57,24 @@ from repro.sizing import estimate_size
 from repro.transport.message import WireMessage
 from repro.transport.network import NetworkMetrics
 
-__all__ = ["LiveNetwork"]
+__all__ = ["LiveNetwork", "OversizeDatagramError"]
+
+
+class OversizeDatagramError(ReproError):
+    """An encoded message exceeds the transport's datagram limit.
+
+    Raised synchronously out of ``send``/``multisend`` so the caller
+    fails cleanly (and the drop is counted) instead of ``sendto``
+    raising ``OSError: Message too long`` from inside the event loop.
+    """
+
+    def __init__(self, message_type: str, size: int, limit: int):
+        super().__init__(
+            f"encoded {message_type!r} is {size} bytes; the datagram "
+            f"limit is {limit}")
+        self.message_type = message_type
+        self.size = size
+        self.limit = limit
 
 
 class _NodeProtocol(asyncio.DatagramProtocol):
@@ -74,13 +111,18 @@ class LiveNetwork:
         (``send_overflows``) instead of queued without limit — the live
         analogue of the simulator's bounded stubborn backlog.  ``None``
         (default) disables the bound.
+    wire:
+        Wire/framing configuration (:class:`~repro.runtime.wire.WireConfig`):
+        codec version, coalescing bounds, datagram size limit.  The
+        default is the v2 binary codec with same-turn coalescing.
     """
 
     def __init__(self, runtime: LiveRuntime,
                  rng: Optional[random.Random] = None,
                  loss_rate: float = 0.0,
                  duplicate_rate: float = 0.0,
-                 max_send_buffer: Optional[int] = None) -> None:
+                 max_send_buffer: Optional[int] = None,
+                 wire_config: Optional[wire.WireConfig] = None) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError(
                 f"loss_rate {loss_rate} breaks the fair-loss assumption")
@@ -93,12 +135,24 @@ class LiveNetwork:
         if max_send_buffer is not None and max_send_buffer < 1:
             raise SimulationError(f"bad max_send_buffer {max_send_buffer}")
         self.max_send_buffer = max_send_buffer
+        self.wire_config = wire_config or wire.WireConfig()
         self.send_overflows = 0
         self.send_buffer_high_water = 0
+        # Framing/coalescing counters (wall-clock side, never gated on).
+        self.oversize_drops = 0
+        self.datagrams_sent = 0
+        self.frames_sent = 0
+        self.frames_coalesced = 0  # frames that shared a datagram
+        self.wire_bytes_sent = 0   # actual encoded bytes through sendto
         self.nodes: Dict[int, Node] = {}
         self.ports: Dict[int, int] = {}
         self.metrics = NetworkMetrics()
         self._transports: Dict[int, asyncio.DatagramTransport] = {}
+        # Per-(src, dst) coalescing buffers: encoded frames + byte count,
+        # plus the scheduled flush handle (volatile, dies with the src).
+        self._out: Dict[Tuple[int, int], List[bytes]] = {}
+        self._out_bytes: Dict[Tuple[int, int], int] = {}
+        self._flush_handles: Dict[Tuple[int, int], asyncio.Handle] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -133,11 +187,22 @@ class LiveNetwork:
             await self.open(node_id)
 
     def close(self, node_id: int) -> None:
-        """Close the node's socket (datagrams in flight to it are lost)."""
+        """Close the node's socket (datagrams in flight to it are lost).
+
+        Frames the node had buffered for coalescing are volatile sender
+        state and vanish with the process, exactly like the simulated
+        stubborn backlog on a crash.
+        """
         transport = self._transports.pop(node_id, None)
         if transport is not None:
             transport.close()
         self.ports.pop(node_id, None)
+        for key in [k for k in self._out if k[0] == node_id]:
+            self._out.pop(key, None)
+            self._out_bytes.pop(key, None)
+            handle = self._flush_handles.pop(key, None)
+            if handle is not None:
+                handle.cancel()
 
     def close_all(self) -> None:
         """Close every socket (end of run)."""
@@ -152,6 +217,10 @@ class LiveNetwork:
         Injected loss and duplication are decided at send time with
         independent seeded draws; real UDP may add its own loss,
         reordering and (in principle) duplication on top.
+
+        Raises :class:`OversizeDatagramError` (after counting the drop)
+        when the encoded message cannot fit one datagram — fragmenting
+        is a layer this transport deliberately does not have.
         """
         if dst not in self.nodes:
             raise SimulationError(f"unknown destination {dst}")
@@ -167,11 +236,24 @@ class LiveNetwork:
         if self.loss_rate and self.rng.random() < self.loss_rate:
             self.metrics.lost += 1
             return
-        data = wire.encode(src, message)
-        self._transmit(src, dst, data)
-        if (self.duplicate_rate
-                and self.rng.random() < self.duplicate_rate):
+        config = self.wire_config
+        duplicated = bool(self.duplicate_rate
+                          and self.rng.random() < self.duplicate_rate)
+        if duplicated:
             self.metrics.duplicated += 1
+        if config.coalesce:
+            frame = wire.encode_frame(src, message)
+            self._check_size(message, len(frame))
+            self._enqueue(src, dst, frame)
+            if duplicated:
+                self._enqueue(src, dst, frame)
+            return
+        data = wire.encode(src, message, version=config.version)
+        self._check_size(message, len(data))
+        self.frames_sent += 1
+        self._transmit(src, dst, data)
+        if duplicated:
+            self.frames_sent += 1
             self._transmit(src, dst, data)
 
     def multisend(self, src: int, message: WireMessage,
@@ -190,6 +272,45 @@ class LiveNetwork:
                 self.send(src, dst, message)
 
     # -- internals ----------------------------------------------------------
+
+    def _check_size(self, message: WireMessage, size: int) -> None:
+        limit = self.wire_config.max_datagram_bytes
+        if size > limit:
+            self.oversize_drops += 1
+            self.metrics.lost += 1
+            raise OversizeDatagramError(message.type, size, limit)
+
+    def _enqueue(self, src: int, dst: int, frame: bytes) -> None:
+        """Buffer one v2 frame; flush by size now or by delay later."""
+        key = (src, dst)
+        buffered = self._out_bytes.get(key, 0)
+        if buffered and buffered + len(frame) > \
+                self.wire_config.max_frame_bytes:
+            self._flush(key)
+        buf = self._out.setdefault(key, [])
+        buf.append(frame)
+        self._out_bytes[key] = self._out_bytes.get(key, 0) + len(frame)
+        self.frames_sent += 1
+        if key not in self._flush_handles:
+            delay = self.wire_config.flush_delay
+            if delay > 0:
+                handle = self.runtime.schedule(delay, self._flush, key)
+            else:
+                handle = self.runtime.call_soon(self._flush, key)
+            self._flush_handles[key] = handle
+
+    def _flush(self, key: Tuple[int, int]) -> None:
+        """Transmit one (src, dst) buffer as a single datagram."""
+        handle = self._flush_handles.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+        frames = self._out.pop(key, None)
+        self._out_bytes.pop(key, None)
+        if not frames:
+            return
+        if len(frames) > 1:
+            self.frames_coalesced += len(frames) - 1
+        self._transmit(key[0], key[1], b"".join(frames))
 
     def _transmit(self, src: int, dst: int, data: bytes) -> None:
         transport = self._transports.get(src)
@@ -210,18 +331,24 @@ class LiveNetwork:
                 self.send_overflows += 1
                 self.metrics.lost += 1
                 return
+        self.datagrams_sent += 1
+        self.wire_bytes_sent += len(data)
         transport.sendto(data, ("127.0.0.1", port))
 
     def _receive(self, dst: int, data: bytes) -> None:
         try:
-            src, message = wire.decode(data)
+            arrivals = wire.decode_datagram(data)
         except wire.WireCodecError:
             self.metrics.lost += 1
             return
-        self._deliver(src, dst, message)
+        for src, message in arrivals:
+            self._deliver(src, dst, message)
 
     def _deliver(self, src: int, dst: int, message: WireMessage) -> None:
-        node = self.nodes[dst]
+        node = self.nodes.get(dst)
+        if node is None:
+            self.metrics.dropped_down += 1
+            return
         if node.deliver(message, src):
             self.metrics.delivered += 1
         else:

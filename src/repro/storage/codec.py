@@ -5,21 +5,44 @@ primitives, tuples, sets/frozensets, dicts with non-string keys, and
 protocol payload objects.  Plain JSON cannot round-trip those, so this
 codec wraps non-JSON-native values in ``{"__t": tag, "v": ...}`` envelopes.
 
+Non-finite floats get the same treatment: bare ``json.dumps`` would emit
+the non-standard ``NaN``/``Infinity`` tokens, which round-trip only by
+CPython accident and break any standards-compliant reader, so ``nan``
+and ``±inf`` are encoded as explicit ``{"__t": "float", "v": ...}``
+envelopes (and the emitter runs with ``allow_nan=False`` so a bare
+non-finite can never leak through).  ``-0.0`` needs no envelope: JSON
+preserves the sign of a negative zero literal.
+
 Payload classes opt in by calling :func:`register` with a ``to_plain`` /
-``from_plain`` pair; the codec stays ignorant of protocol types.
+``from_plain`` pair; the codec stays ignorant of protocol types.  The
+binary wire codec (:mod:`repro.runtime.wire`) reuses the same
+registrations through :func:`registration_for`/:func:`loader_for`, so a
+class registered once round-trips through storage *and* both wire
+versions.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, Tuple
+import math
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import StorageError
 
-__all__ = ["encode", "decode", "register"]
+__all__ = ["encode", "decode", "register", "registration_for", "loader_for",
+           "CodecError"]
+
+
+class CodecError(StorageError):
+    """A value could not be serialised or deserialised."""
+
 
 _TO_PLAIN: Dict[type, Tuple[str, Callable[[Any], Any]]] = {}
 _FROM_PLAIN: Dict[str, Callable[[Any], Any]] = {}
+
+# Wire text for the tagged non-finite floats ("-0.0" stays native JSON).
+_NONFINITE = {math.inf: "inf", -math.inf: "-inf"}
+_NONFINITE_BACK = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
 
 
 def register(cls: type, tag: str,
@@ -32,7 +55,20 @@ def register(cls: type, tag: str,
     _FROM_PLAIN[tag] = from_plain
 
 
+def registration_for(cls: type) -> Optional[Tuple[str, Callable[[Any], Any]]]:
+    """The ``(tag, to_plain)`` registration for ``cls``, if any."""
+    return _TO_PLAIN.get(cls)
+
+
+def loader_for(tag: str) -> Optional[Callable[[Any], Any]]:
+    """The ``from_plain`` loader registered under ``tag``, if any."""
+    return _FROM_PLAIN.get(tag)
+
+
 def _to_jsonable(value: Any) -> Any:
+    if isinstance(value, float) and not math.isfinite(value):
+        text = "nan" if math.isnan(value) else _NONFINITE[value]
+        return {"__t": "float", "v": text}
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, list):
@@ -54,7 +90,7 @@ def _to_jsonable(value: Any) -> Any:
     if registered is not None:
         tag, to_plain = registered
         return {"__t": tag, "v": _to_jsonable(to_plain(value))}
-    raise StorageError(
+    raise CodecError(
         f"cannot serialise {type(value).__name__}; register() a codec")
 
 
@@ -66,6 +102,12 @@ def _from_jsonable(value: Any) -> Any:
         if tag is None:
             return {key: _from_jsonable(item) for key, item in value.items()}
         payload = value["v"]
+        if tag == "float":
+            try:
+                return _NONFINITE_BACK[payload]
+            except (KeyError, TypeError):
+                raise CodecError(
+                    f"bad non-finite float token {payload!r}") from None
         if tag == "tuple":
             return tuple(_from_jsonable(item) for item in payload)
         if tag == "set":
@@ -77,14 +119,20 @@ def _from_jsonable(value: Any) -> Any:
                     for key, item in payload}
         loader = _FROM_PLAIN.get(tag)
         if loader is None:
-            raise StorageError(f"unknown codec tag {tag!r}")
+            raise CodecError(f"unknown codec tag {tag!r}")
         return loader(_from_jsonable(payload))
     return value
 
 
 def encode(value: Any) -> str:
     """Serialise ``value`` to a JSON string (deterministic key order)."""
-    return json.dumps(_to_jsonable(value), sort_keys=True)
+    try:
+        return json.dumps(_to_jsonable(value), sort_keys=True,
+                          allow_nan=False)
+    except ValueError as exc:
+        if isinstance(exc, CodecError):
+            raise
+        raise CodecError(f"cannot serialise value: {exc}") from exc
 
 
 def decode(text: str) -> Any:

@@ -158,6 +158,10 @@ class StableStorage:
         The default implementation is a no-op, so protocol code can use
         barriers unconditionally; metric accounting is unaffected either
         way (a coalesced fsync is still one log op per write).
+        :class:`~repro.storage.file.FileStorage` uses the hooks two
+        ways: by default it defers only the directory fsync, and with
+        ``group_commit=True`` it batches the barrier's records into one
+        journal write with a single fsync as the durability point.
         """
         self._barrier_begin()
         try:

@@ -27,6 +27,15 @@ class WireMessage:
     type = "message"
     fields: Tuple[str, ...] = ()
 
+    # Bumped on every subclass definition; the wire codec's type-tag
+    # registry is valid exactly while this stands still, so unknown-tag
+    # lookups can fail in O(1) instead of re-walking the class tree.
+    _registry_generation = 0
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        WireMessage._registry_generation += 1
+
     def estimated_size(self) -> int:
         """Estimated serialised size: tag plus payload fields."""
         total = 2 + len(self.type)

@@ -1,0 +1,81 @@
+"""Property suite for the wire codec, driven by the wirefuzz engine.
+
+Fixed seeds keep the suite deterministic; a failure prints the
+iteration sub-seed so the exact case replays via
+``repro wirefuzz --seed``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.runtime import wire, wirefuzz
+from repro.runtime.wire import HEADER, MAGIC, TYPE_ID_TABLE, WireCodecError
+
+
+def _describe(report):
+    return "\n".join(f"{suite} seed={seed}: {detail}"
+                     for suite, seed, detail in report.defects)
+
+
+def test_every_registered_class_round_trips_across_versions():
+    """encode -> decode under v1 and v2 must reproduce sender, class and
+    field values for every importable message class."""
+    report = wirefuzz.fuzz_roundtrip(iterations=150, seed=2024)
+    assert report.ok, _describe(report)
+    # Every registered class was actually exercised (round-robin).
+    assert report.roundtrips >= len(wirefuzz.registered_classes())
+
+
+def test_adversarial_bytes_raise_only_wirecodecerror():
+    report = wirefuzz.fuzz_decode(iterations=600, seed=2025)
+    assert report.ok, _describe(report)
+    assert report.clean_rejections > 0  # the suite did reject things
+
+
+def test_fuzz_universe_covers_type_id_table():
+    """Every type-id-table tag must have a message class behind it; a
+    tag with an id but no class would leave a binary encoder path
+    untested.  (Other suites may define throwaway classes that collide
+    on a real tag, making it *ambiguous* — that still counts as
+    present, so this check is order-independent.)"""
+    from repro.transport.message import WireMessage
+    wirefuzz.registered_classes()  # imports the protocol stacks
+    walked = {}
+    wire._walk(WireMessage, walked)
+    missing = set(TYPE_ID_TABLE) - set(walked)
+    assert not missing, f"type-id tags with no message class: {missing}"
+
+
+def test_nonfinite_floats_round_trip_on_the_wire():
+    for version in (1, 2):
+        message = wire.rebuild("stub.ack", {"seq": math.nan})
+        _, got = wire.decode(wire.encode(0, message, version=version))
+        assert isinstance(got.seq, float) and math.isnan(got.seq)
+        for value in (math.inf, -math.inf):
+            message = wire.rebuild("stub.ack", {"seq": value})
+            _, got = wire.decode(wire.encode(0, message, version=version))
+            assert got.seq == value
+        message = wire.rebuild("stub.ack", {"seq": -0.0})
+        _, got = wire.decode(wire.encode(0, message, version=version))
+        assert got.seq == 0.0 and math.copysign(1.0, got.seq) == -1.0
+
+
+def test_depth_bomb_is_cleanly_rejected():
+    """A payload of 100 nested lists must hit the depth bound, not the
+    interpreter's recursion limit."""
+    payload = b"l\x01" * 100 + b"N"
+    type_id = TYPE_ID_TABLE["stub.ack"]  # fields = ("seq",)
+    frame = HEADER.pack(MAGIC, 2, 0, type_id, len(payload)) + payload
+    with pytest.raises(WireCodecError):
+        wire.decode_datagram(frame)
+
+
+def test_equivalent_distinguishes_float_identity():
+    assert wirefuzz.equivalent(math.nan, math.nan)
+    assert not wirefuzz.equivalent(0.0, -0.0)
+    assert wirefuzz.equivalent((1, (math.nan,)), (1, (math.nan,)))
+    assert not wirefuzz.equivalent([1], (1,))
+    assert not wirefuzz.equivalent(1, True)

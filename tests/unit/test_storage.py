@@ -185,6 +185,50 @@ class TestCodec:
         assert codec.encode(value) == codec.encode({"a": 2, "b": 1})
 
 
+class TestCodecNonFiniteFloats:
+    """The original defect: non-finite floats leaked into the JSON text
+    as bare ``NaN``/``Infinity`` tokens — valid to Python's reader,
+    rejected by every strict JSON parser, and silently corrupting any
+    cross-tool consumer of the stored files.  They now travel under an
+    explicit tag."""
+
+    def test_nan_round_trips(self):
+        import math
+        got = codec.decode(codec.encode(math.nan))
+        assert isinstance(got, float) and math.isnan(got)
+
+    def test_infinities_round_trip(self):
+        import math
+        for value in (math.inf, -math.inf):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_negative_zero_round_trips_with_sign(self):
+        import math
+        got = codec.decode(codec.encode(-0.0))
+        assert got == 0.0 and math.copysign(1.0, got) == -1.0
+
+    def test_encoded_text_is_strict_json(self):
+        """The encoded form must parse under a reader with the non-JSON
+        constants disabled — i.e. no bare NaN/Infinity tokens."""
+        import json
+        import math
+
+        def reject(token):
+            raise AssertionError(f"bare non-JSON token {token!r} in output")
+
+        for value in (math.nan, math.inf, -math.inf,
+                      [1.5, math.nan], {"k": (math.inf, -0.0)}):
+            json.loads(codec.encode(value), parse_constant=reject)
+
+    def test_non_finite_inside_containers(self):
+        import math
+        value = {"floats": [math.inf, -math.inf], "t": (1, -0.0)}
+        got = codec.decode(codec.encode(value))
+        assert got["floats"] == [math.inf, -math.inf]
+        assert got["t"][0] == 1
+        assert math.copysign(1.0, got["t"][1]) == -1.0
+
+
 class TestSnapshotIsolation:
     """The immutability-aware snapshot path of MemoryStorage."""
 
